@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one artefact of the paper's evaluation (or one
+ablation of a design claim) at the scale selected by ``REPRO_SCALE``
+(quick | small | paper; default quick).  pytest-benchmark measures the
+host-side cost of the simulation; the *scientific* outputs — virtual-time
+runtimes, overhead percentages, latency series — are attached to
+``benchmark.extra_info`` and printed as paper-style tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **info) -> None:
+    """Attach scientific outputs to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

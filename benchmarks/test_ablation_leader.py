@@ -1,0 +1,106 @@
+"""Ablation — leader-based agreement vs send-determinism (§2.4, §3.1).
+
+The paper's Fig. 2 argument: a leader-based protocol puts a
+leader→follower decision message on the critical path of every anonymous
+reception and makes followers post their receives late (unexpected-queue
+pressure, i.e. extra copies).  rMPI/redMPI reported up to 20 %/29 %
+overhead on such codes; SDR-MPI resolves the wildcard locally.
+
+Workload: a communication-dominated ANY_SOURCE fan-in/fan-out loop (light
+compute so the protocol latency is visible, unlike Table 2's
+compute-dominated apps where noise amplification dominates both equally).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.core.config import ReplicationConfig
+from repro.harness.report import render_table
+from repro.harness.runner import Job, cluster_for
+
+
+def anysource_fanin(mpi, rounds=200):
+    if mpi.rank == 0:
+        total = 0.0
+        for r in range(rounds):
+            for _ in range(mpi.size - 1):
+                d, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
+                total += float(d[0])
+            for dst in range(1, mpi.size):
+                yield from mpi.send(np.array([total]), dest=dst, tag=3)
+        return total
+    acc = 0.0
+    for r in range(rounds):
+        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
+        d, _ = yield from mpi.recv(source=0, tag=3)
+        acc = float(d[0])
+    return acc
+
+
+def _run(protocol, n=8, rounds=200):
+    if protocol == "native":
+        cfg = ReplicationConfig(degree=1, protocol="native")
+    else:
+        cfg = ReplicationConfig(degree=2, protocol=protocol)
+    job = Job(n, cfg=cfg, cluster=cluster_for(n, cfg.degree))
+    res = job.launch(anysource_fanin, rounds=rounds).run()
+    return res
+
+
+def test_leader_vs_sdr_on_anysource(benchmark):
+    results = {}
+
+    def run_all():
+        for protocol in ("native", "sdr", "leader"):
+            results[protocol] = _run(protocol)
+        return results
+
+    run_once(benchmark, run_all)
+    native_t = results["native"].runtime
+    rows = []
+    for protocol in ("native", "sdr", "leader"):
+        res = results[protocol]
+        rows.append([
+            protocol,
+            f"{res.runtime * 1e3:.3f}",
+            f"{100 * (res.runtime / native_t - 1):.2f}",
+            res.stat_total("unexpected_count"),
+            res.stat_total("decisions_sent"),
+        ])
+    print()
+    print(render_table(
+        "Ablation — ANY_SOURCE fan-in under each protocol (8 ranks, r=2)",
+        ["protocol", "runtime ms", "overhead %", "unexpected", "decisions"],
+        rows,
+    ))
+    sdr, leader = results["sdr"], results["leader"]
+    record(
+        benchmark,
+        sdr_overhead_pct=100 * (sdr.runtime / native_t - 1),
+        leader_overhead_pct=100 * (leader.runtime / native_t - 1),
+        sdr_unexpected=sdr.stat_total("unexpected_count"),
+        leader_unexpected=leader.stat_total("unexpected_count"),
+        leader_decisions=leader.stat_total("decisions_sent"),
+    )
+    # the paper's claims, as inequalities:
+    assert leader.runtime > sdr.runtime  # decision latency on the critical path
+    assert leader.stat_total("decisions_sent") > 0
+    assert sdr.stat_total("decisions_sent") == 0  # no leader traffic at all
+
+
+def test_unexpected_messages(benchmark):
+    """§3.1: followers post late -> more unexpected messages (extra copies)."""
+    results = {}
+
+    def run_all():
+        results["sdr"] = _run("sdr", rounds=100)
+        results["leader"] = _run("leader", rounds=100)
+        return results
+
+    run_once(benchmark, run_all)
+    sdr_unexp = results["sdr"].stat_total("unexpected_count")
+    leader_unexp = results["leader"].stat_total("unexpected_count")
+    print(f"\nunexpected messages: sdr={sdr_unexp} leader={leader_unexp}")
+    record(benchmark, sdr_unexpected=sdr_unexp, leader_unexpected=leader_unexp)
+    assert leader_unexp > sdr_unexp

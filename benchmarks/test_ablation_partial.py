@@ -1,0 +1,96 @@
+"""Ablation — partial replication (§5: "one research direction is to use
+partial replication [6]").
+
+Sweep the replicated fraction of ranks on a stencil workload and measure
+the trade-off: wire traffic and physical resources saved versus exposure
+(which crashes remain survivable).  Elliott et al. [6] combine this with
+checkpointing; here we show the replication-side curve.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.core.config import ReplicationConfig
+from repro.harness.report import render_table
+from repro.harness.runner import Job, cluster_for
+
+
+def stencil(mpi, iters=40):
+    total = 0.0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for it in range(iters):
+        got, _ = yield from mpi.sendrecv(
+            np.array([float(mpi.rank + it)]), dest=right, source=left, sendtag=1, recvtag=1
+        )
+        total += float(got[0])
+        yield from mpi.compute(5e-6)
+    return (yield from mpi.allreduce(total, op="sum"))
+
+
+def _run(fraction, n=16):
+    replicated = frozenset(range(int(round(fraction * n))))
+    cfg = ReplicationConfig(degree=2, protocol="sdr", replicated_ranks=replicated)
+    job = Job(n, cfg=cfg, cluster=cluster_for(n, 2))
+    res = job.launch(stencil).run()
+    return job, res
+
+
+def test_partial_replication_tradeoff(benchmark):
+    results = {}
+
+    def run_all():
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            results[fraction] = _run(fraction)
+        return results
+
+    run_once(benchmark, run_all)
+    rows = []
+    reference = None
+    for fraction, (job, res) in sorted(results.items()):
+        n_procs = 16 + len([r for r in range(16) if job.cfg.rank_is_replicated(r)])
+        if reference is None:
+            reference = res.runtime
+        rows.append([
+            f"{fraction:.2f}",
+            n_procs,
+            f"{res.runtime * 1e3:.3f}",
+            f"{100 * (res.runtime / reference - 1):.2f}",
+            res.fabric["frames"],
+            res.stat_total("acks_sent"),
+        ])
+    print()
+    print(render_table(
+        "Ablation — partial replication sweep (16 ranks, r=2 on the replicated subset)",
+        ["replicated frac", "procs", "runtime ms", "vs 0% (%)", "frames", "acks"],
+        rows,
+    ))
+    frames = {f: res.fabric["frames"] for f, (_j, res) in results.items()}
+    record(benchmark, frames_by_fraction={str(k): v for k, v in frames.items()})
+    # monotone: more replication -> more wire traffic
+    fractions = sorted(frames)
+    assert all(frames[a] <= frames[b] for a, b in zip(fractions, fractions[1:]))
+    # results identical regardless of the replicated fraction
+    values = {
+        tuple(sorted(set(res.app_results.values())))
+        for _f, (_j, res) in results.items()
+    }
+    assert len(values) == 1
+
+
+def test_partial_survivability_boundary(benchmark):
+    """Replicated ranks survive their crash; unreplicated ones do not."""
+
+    def run():
+        job, _ = None, None
+        cfg = ReplicationConfig(degree=2, protocol="sdr", replicated_ranks=frozenset({0, 1}))
+        job = Job(4, cfg=cfg, cluster=cluster_for(4, 2))
+        job.launch(stencil)
+        job.crash(1, 1, at=30e-6)  # replicated rank: survivable
+        return job.run()
+
+    res = run_once(benchmark, run)
+    record(benchmark, survivors=len(res.app_results))
+    assert len(res.app_results) == 5  # 4 ranks + rank0's replica; victim gone
+    assert len(set(res.app_results.values())) == 1

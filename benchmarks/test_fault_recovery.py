@@ -1,0 +1,107 @@
+"""Fault experiments — the paper's Fig. 3 and Fig. 4 scenarios at scale.
+
+The paper's evaluation explicitly defers fault-injection measurements
+("Evaluating our protocol with faults is part of the future work", §4.2);
+these benches implement that future work on the simulated substrate:
+runtime cost of a mid-run replica crash (failover) and of a subsequent
+respawn (recovery), on a replicated stencil application.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.core.config import ReplicationConfig
+from repro.core.recovery import RecoveryManager
+from repro.harness.report import render_table
+from repro.harness.runner import Job, cluster_for
+
+
+class StencilState:
+    def __init__(self):
+        self.it = 0
+        self.acc = 0.0
+
+
+def stencil(mpi, iters=120, state=None):
+    st = state or StencilState()
+    mpi.register_state(st)
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    while st.it < iters:
+        got, _ = yield from mpi.sendrecv(
+            np.array([float(st.it + mpi.rank)]), dest=right, source=left, sendtag=1, recvtag=1
+        )
+        st.acc += float(got[0])
+        yield from mpi.compute(3e-6)
+        st.it += 1
+        yield from mpi.recovery_point()
+    total = yield from mpi.allreduce(st.acc, op="sum")
+    return total
+
+
+def _job(n=8):
+    cfg = ReplicationConfig(degree=2, protocol="sdr")
+    return Job(n, cfg=cfg, cluster=cluster_for(n, 2))
+
+
+def test_fig3_crash(benchmark):
+    """Crash p¹₁ mid-run: failover cost and correctness."""
+    results = {}
+
+    def run_all():
+        clean = _job().launch(stencil).run()
+        crashed_job = _job().launch(stencil)
+        crashed_job.crash(rank=1, rep=1, at=150e-6)
+        crashed = crashed_job.run()
+        results.update(clean=clean, crashed=crashed, job=crashed_job)
+        return results
+
+    run_once(benchmark, run_all)
+    clean, crashed = results["clean"], results["crashed"]
+    slowdown = 100 * (crashed.runtime / clean.runtime - 1)
+    rows = [
+        ["failure-free", f"{clean.runtime * 1e3:.3f}", "-", 0, 0],
+        ["crash p^1_1", f"{crashed.runtime * 1e3:.3f}", f"{slowdown:.2f}",
+         crashed.stat_total("resends"), crashed.stat_total("duplicates_dropped")],
+    ]
+    print()
+    print(render_table(
+        "Fig. 3 scenario — replica crash at t=150us (8 ranks, r=2)",
+        ["run", "runtime ms", "slowdown %", "resends", "dups dropped"],
+        rows,
+    ))
+    record(benchmark, clean_ms=clean.runtime * 1e3, crashed_ms=crashed.runtime * 1e3,
+           slowdown_pct=slowdown, resends=crashed.stat_total("resends"))
+    # correctness: all survivors agree with the failure-free result
+    want = set(clean.app_results.values())
+    assert len(want) == 1
+    assert set(crashed.app_results.values()) == want
+    assert len(crashed.app_results) == 15  # 16 procs minus the victim
+
+
+def test_fig4_recovery(benchmark):
+    """Crash then respawn: the recovered replica rejoins and finishes."""
+    results = {}
+
+    def run_all():
+        job = _job()
+        job.launch(stencil)
+        manager = RecoveryManager(job)
+        job.crash(rank=1, rep=1, at=150e-6)
+        job.sim.call_at(250e-6, lambda: manager.request_respawn(1))
+        res = job.run()
+        results.update(res=res, manager=manager, job=job)
+        return results
+
+    run_once(benchmark, run_all)
+    res, manager, job = results["res"], results["manager"], results["job"]
+    print(f"\nrespawned: {manager.respawns_done}; "
+          f"resends: {res.stat_total('resends')}, "
+          f"duplicates dropped: {res.stat_total('duplicates_dropped')}")
+    record(benchmark, respawns=len(manager.respawns_done),
+           resends=res.stat_total("resends"),
+           duplicates=res.stat_total("duplicates_dropped"))
+    assert manager.respawns_done == [job.rmap.phys(1, 1)]
+    assert len(res.app_results) == 16  # everyone finished, including the newcomer
+    assert len(set(res.app_results.values())) == 1  # and they all agree

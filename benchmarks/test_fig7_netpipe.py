@@ -1,0 +1,81 @@
+"""Fig. 7 — NetPipe latency (7a) and throughput (7b) on InfiniBand-20G.
+
+Paper anchors: native 1-byte latency 1.67 µs, SDR-MPI 2.37 µs; overhead
+noticeable (>25 %) only below ~100 B; throughput unaffected for large
+messages (peak ≈ 20 Gbps).
+"""
+
+import pytest
+
+from benchmarks.conftest import record, run_once
+from repro.apps.netpipe import DEFAULT_SIZES, netpipe_sweep
+from repro.harness.report import PAPER_FIG7_POINTS, render_series
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        "native": netpipe_sweep("native", sizes=DEFAULT_SIZES, iters=10),
+        "sdr": netpipe_sweep("sdr", sizes=DEFAULT_SIZES, iters=10),
+    }
+
+
+def test_fig7a_latency(benchmark, sweeps):
+    def run():
+        return netpipe_sweep("sdr", sizes=(1, 1024, 65536), iters=10)
+
+    run_once(benchmark, run)
+    native, sdr = sweeps["native"], sweeps["sdr"]
+    lat_native = {s: native[s]["latency_s"] * 1e6 for s in DEFAULT_SIZES}
+    lat_sdr = {s: sdr[s]["latency_s"] * 1e6 for s in DEFAULT_SIZES}
+    decrease = {s: 100 * (lat_sdr[s] / lat_native[s] - 1) for s in DEFAULT_SIZES}
+    print()
+    print(render_series(
+        "Fig. 7a — latency (us) vs message size",
+        "bytes",
+        {"native": lat_native, "sdr-mpi": lat_sdr, "decrease%": decrease},
+    ))
+    print(f"paper anchors: native 1B {PAPER_FIG7_POINTS['native_1B_us']} us, "
+          f"sdr 1B {PAPER_FIG7_POINTS['sdr_1B_us']} us")
+    record(
+        benchmark,
+        native_1B_us=lat_native[1],
+        sdr_1B_us=lat_sdr[1],
+        paper_native_1B_us=PAPER_FIG7_POINTS["native_1B_us"],
+        paper_sdr_1B_us=PAPER_FIG7_POINTS["sdr_1B_us"],
+        decrease_pct_by_size={str(k): round(v, 2) for k, v in decrease.items()},
+    )
+    # shape assertions: anchors within 5 %, decay with size, small tail
+    assert lat_native[1] == pytest.approx(1.67, rel=0.05)
+    assert lat_sdr[1] == pytest.approx(2.37, rel=0.05)
+    assert decrease[1] > 25.0
+    assert decrease[8 * 2**20] < 1.0
+    assert all(decrease[a] >= decrease[b] - 1e-6 for a, b in zip(DEFAULT_SIZES, DEFAULT_SIZES[1:]))
+
+
+def test_fig7b_throughput(benchmark, sweeps):
+    def run():
+        return netpipe_sweep("sdr", sizes=(65536, 8 * 2**20), iters=10)
+
+    run_once(benchmark, run)
+    native, sdr = sweeps["native"], sweeps["sdr"]
+    tp_native = {s: native[s]["throughput_mbps"] for s in DEFAULT_SIZES}
+    tp_sdr = {s: sdr[s]["throughput_mbps"] for s in DEFAULT_SIZES}
+    decrease = {s: 100 * (1 - tp_sdr[s] / tp_native[s]) for s in DEFAULT_SIZES}
+    print()
+    print(render_series(
+        "Fig. 7b — throughput (Mbps) vs message size",
+        "bytes",
+        {"native": tp_native, "sdr-mpi": tp_sdr, "decrease%": decrease},
+        fmt="{:.4g}",
+    ))
+    record(
+        benchmark,
+        peak_native_mbps=max(tp_native.values()),
+        peak_sdr_mbps=max(tp_sdr.values()),
+        decrease_pct_by_size={str(k): round(v, 2) for k, v in decrease.items()},
+    )
+    # peak throughput near the 20 Gbps line, unaffected by replication
+    assert max(tp_native.values()) == pytest.approx(20_000, rel=0.05)
+    assert decrease[8 * 2**20] < 0.5
+    assert decrease[1] > 25.0  # small messages lose throughput like latency

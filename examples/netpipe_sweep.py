@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Fig. 7 in miniature: NetPipe latency/throughput, native vs SDR-MPI.
+
+Prints the two series the paper plots (latency and throughput per message
+size, plus the performance decrease), with the paper's quoted 1-byte
+anchors for comparison.
+
+Run:  python examples/netpipe_sweep.py
+"""
+
+from repro.apps.netpipe import netpipe_sweep
+from repro.harness.report import PAPER_FIG7_POINTS, render_table
+
+SIZES = (1, 8, 64, 1024, 16384, 65536, 1048576, 8388608)
+
+
+def main():
+    native = netpipe_sweep("native", sizes=SIZES, iters=10)
+    sdr = netpipe_sweep("sdr", sizes=SIZES, iters=10)
+
+    rows = []
+    for size in SIZES:
+        lat_n = native[size]["latency_s"] * 1e6
+        lat_s = sdr[size]["latency_s"] * 1e6
+        rows.append([
+            size,
+            f"{lat_n:.2f}",
+            f"{lat_s:.2f}",
+            f"{100 * (lat_s / lat_n - 1):.1f}",
+            f"{native[size]['throughput_mbps']:.0f}",
+            f"{sdr[size]['throughput_mbps']:.0f}",
+        ])
+    print(render_table(
+        "Fig. 7 — NetPipe on simulated InfiniBand-20G (r=2)",
+        ["bytes", "lat native (us)", "lat SDR (us)", "decrease %", "tput native (Mbps)", "tput SDR (Mbps)"],
+        rows,
+    ))
+    print(f"\npaper anchors: native 1 B = {PAPER_FIG7_POINTS['native_1B_us']} us, "
+          f"SDR-MPI 1 B = {PAPER_FIG7_POINTS['sdr_1B_us']} us")
+
+
+if __name__ == "__main__":
+    main()

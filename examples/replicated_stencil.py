@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Protocol comparison on an ANY_SOURCE workload (the paper's §3.1 claim).
+
+Runs the HPCCG-style halo/allreduce loop — whose receives use
+MPI_ANY_SOURCE — under four configurations and prints runtime, unexpected-
+queue pressure, and message counts:
+
+* native (no replication)
+* SDR-MPI             — anonymous receptions resolved locally (Fig. 2 right)
+* leader-based (rMPI) — the leader decides, followers post late (Fig. 2 left)
+* mirror (MR-MPI)     — no leader, but O(q·r²) message cost
+
+Expected shape: SDR ≈ native + acks; leader pays extra latency *and* piles
+messages into the unexpected queue; mirror roughly doubles wire traffic.
+
+Run:  python examples/replicated_stencil.py
+"""
+
+from repro import Job, ReplicationConfig, cluster_for
+from repro.apps.hpccg import hpccg_rank
+from repro.harness.report import render_table
+
+
+def run(protocol: str, n=16, iters=30):
+    if protocol == "native":
+        cfg = ReplicationConfig(degree=1, protocol="native")
+    else:
+        cfg = ReplicationConfig(degree=2, protocol=protocol)
+    cluster = cluster_for(n, cfg.degree, compute_noise=0.05)
+    job = Job(n, cfg=cfg, cluster=cluster)
+    res = job.launch(hpccg_rank, nx=32, ny=32, nz=32, iters=iters).run()
+    return {
+        "runtime_ms": res.runtime * 1e3,
+        "unexpected": res.stat_total("unexpected_count"),
+        "frames": res.fabric["frames"],
+        "bytes": res.fabric["bytes"],
+    }
+
+
+def main():
+    rows = []
+    baseline = None
+    for protocol in ("native", "sdr", "leader", "mirror"):
+        r = run(protocol)
+        if protocol == "native":
+            baseline = r["runtime_ms"]
+        rows.append([
+            protocol,
+            f"{r['runtime_ms']:.2f}",
+            f"{100 * (r['runtime_ms'] / baseline - 1):.2f}",
+            r["unexpected"],
+            r["frames"],
+            f"{r['bytes'] / 1e6:.1f}",
+        ])
+    print(render_table(
+        "HPCCG-style ANY_SOURCE stencil, 16 ranks (r=2 where replicated)",
+        ["protocol", "runtime (ms)", "overhead %", "unexpected msgs", "frames", "MB on wire"],
+        rows,
+    ))
+    print("\npaper claim (§3.1, Table 2): SDR-MPI does not degrade on anonymous\n"
+          "receptions, unlike leader-based protocols; mirror pays r^2 messages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Silent-data-corruption detection with the redMPI-style baseline (§2.4).
+
+Each replica ships a payload hash to the other replica set's receiver;
+comparing its own copy's hash against the foreign one flags silent faults.
+We inject a bit-flip into one replica's outgoing message and show that the
+receiving side detects exactly one corruption event.
+
+Run:  python examples/sdc_detection.py
+"""
+
+import numpy as np
+
+from repro import Job, ReplicationConfig, cluster_for
+
+
+def stream_app(mpi, messages=20):
+    """Rank 0 streams real payloads to rank 1."""
+    if mpi.rank == 0:
+        for i in range(messages):
+            yield from mpi.send(np.full(16, float(i)), dest=1, tag=7)
+    else:
+        total = 0.0
+        for _ in range(messages):
+            data, _ = yield from mpi.recv(source=0, tag=7)
+            total += float(data.sum())
+        return total
+
+
+def main():
+    cfg = ReplicationConfig(degree=2, protocol="redmpi")
+    job = Job(2, cfg=cfg, cluster=cluster_for(2, 2, cores_per_node=1))
+    job.launch(stream_app)
+
+    # Inject SDC: replica 1 of rank 0 silently corrupts its next message —
+    # the hash it advertises no longer describes the data its sibling
+    # receiver got, so the *other* replica set's receiver flags it.
+    victim = job.protocols[job.rmap.phys(0, 1)]
+    victim.corrupt_next_send(1)
+
+    res = job.run()
+    events = []
+    for proc, proto in job.protocols.items():
+        for ev in getattr(proto, "sdc_events", []):
+            events.append((proc, ev))
+    print(f"messages streamed : 20 per replica pair")
+    print(f"hashes exchanged  : {res.stat_total('hashes_sent')}")
+    print(f"SDC events        : {len(events)}")
+    for proc, ev in events:
+        rank, rep = job.rmap.pair(proc)
+        print(f"  detected at p^{rep}_{rank}: logical sender rank {ev.src_rank}, "
+              f"message seq {ev.seq}, t={ev.detected_at*1e6:.2f} us")
+    assert len(events) == 1, "exactly one injected corruption must be detected"
+    print("corruption detected exactly once — replicas disagree, as injected")
+
+
+if __name__ == "__main__":
+    main()

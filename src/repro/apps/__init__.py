@@ -1,0 +1,18 @@
+"""Workloads: the paper's benchmark set, rebuilt as simulator applications.
+
+Every application is a generator factory ``app(mpi, **params)`` usable with
+:class:`repro.harness.runner.Job`.  Applications run in one of two modes:
+
+* ``validate=True`` — real numpy payloads and real numerics (small sizes;
+  used by the test suite to check the math and the data movement);
+* ``validate=False`` — phantom payloads (sizes only) plus an analytic
+  compute-time model calibrated against the paper's native class-D runtimes
+  (used by the benchmark harness at scale).
+"""
+
+from repro.apps.netpipe import netpipe_rank, netpipe_sweep
+from repro.apps import patterns
+from repro.apps.hpccg import hpccg_rank
+from repro.apps.cm1 import cm1_rank
+
+__all__ = ["cm1_rank", "hpccg_rank", "netpipe_rank", "netpipe_sweep", "patterns"]

@@ -1,0 +1,111 @@
+"""HPCCG: the Mantevo conjugate-gradient miniapp (27-point stencil).
+
+Chosen by the paper (with CM1) because its halo exchange posts
+**anonymous receptions**: neighbour contributions are received with
+``MPI_ANY_SOURCE`` and disambiguated by direction tags.  Reception order
+is timing-dependent — internally non-deterministic — yet the sends are
+fixed, so the application is send-deterministic and SDR-MPI needs no
+leader agreement (Table 2: 0.002 % overhead).
+
+Skeleton: 1-D z decomposition (HPCCG's default), two face halos of
+``nx·ny·8`` bytes, three scalar allreduces per CG iteration, with compute
+calibrated to the paper's 91.13 s native (256 ranks, 128×128×64 local
+grid, 149 iterations).
+
+``validate=True`` runs a real distributed CG whose halo uses ANY_SOURCE
+receives, returning the converged residual.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.mpi.datatypes import Phantom
+
+__all__ = ["hpccg_rank", "HPCCG_DEFAULT"]
+
+#: paper problem: per-rank grid and iteration count
+HPCCG_DEFAULT = {"nx": 128, "ny": 128, "nz": 64, "iters": 149}
+
+#: calibrated per-rank flops per CG iteration: 91.13 s / 149 it × 2.5 GF/s
+_FLOPS_PER_ITER_PER_RANK = 1.53e9
+
+
+def hpccg_rank(
+    mpi,
+    nx: int = 128,
+    ny: int = 128,
+    nz: int = 64,
+    iters: int = 149,
+    flops_per_core: float = 2.5e9,
+    validate: bool = False,
+) -> Generator:
+    if validate:
+        return (yield from hpccg_validate_rank(mpi))
+    up = (mpi.rank + 1) % mpi.size
+    down = (mpi.rank - 1) % mpi.size
+    face = Phantom(nx * ny * 8)
+    scale = (nx * ny * nz) / (128 * 128 * 64)
+    compute = _FLOPS_PER_ITER_PER_RANK * scale / flops_per_core
+    rtrans = 1.0
+    for it in range(iters):
+        # exchange_externals: anonymous receives, direction-tagged.
+        r_lo = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=500)
+        r_hi = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=501)
+        s_lo = yield from mpi.isend(face, dest=down, tag=501)
+        s_hi = yield from mpi.isend(face, dest=up, tag=500)
+        yield from mpi.waitall([r_lo, r_hi, s_lo, s_hi])
+        # sparse matvec + waxpby's
+        yield from mpi.compute(compute)
+        # ddot reductions (r·r, p·Ap, convergence check)
+        rtrans = yield from mpi.allreduce(rtrans * 0.995, op="sum")
+        _ = yield from mpi.allreduce(float(it), op="sum")
+        _ = yield from mpi.allreduce(1.0, op="max")
+    return rtrans
+
+
+def hpccg_validate_rank(mpi, n_per_rank: int = 48, tol: float = 1e-8, max_iter: int = 300) -> Generator:
+    """Real CG on the 1-D Laplacian with ANY_SOURCE halo receives."""
+    rank, size = mpi.rank, mpi.size
+    b = np.ones(n_per_rank)
+    x = np.zeros(n_per_rank)
+
+    def matvec(v: np.ndarray) -> Generator:
+        reqs = []
+        if rank > 0:
+            reqs.append((yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=510)))
+        if rank < size - 1:
+            reqs.append((yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=511)))
+        sends = []
+        if rank > 0:
+            sends.append((yield from mpi.isend(v[:1].copy(), dest=rank - 1, tag=511)))
+        if rank < size - 1:
+            sends.append((yield from mpi.isend(v[-1:].copy(), dest=rank + 1, tag=510)))
+        yield from mpi.waitall(reqs + sends)
+        lo = float(reqs[0].data[0]) if rank > 0 else 0.0
+        hi = float(reqs[-1].data[0]) if rank < size - 1 else 0.0
+        out = 2.0 * v
+        out[1:] -= v[:-1]
+        out[:-1] -= v[1:]
+        out[0] -= lo
+        out[-1] -= hi
+        return out
+
+    r = b - (yield from matvec(x))
+    p = r.copy()
+    rs = yield from mpi.allreduce(float(r @ r), op="sum")
+    for _ in range(max_iter):
+        ap = yield from matvec(p)
+        pap = yield from mpi.allreduce(float(p @ ap), op="sum")
+        alpha = rs / pap
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = yield from mpi.allreduce(float(r @ r), op="sum")
+        if rs_new < tol * tol:
+            rs = rs_new
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return float(np.sqrt(rs))

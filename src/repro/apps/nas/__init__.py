@@ -1,0 +1,31 @@
+"""NAS Parallel Benchmark communication skeletons (BT, CG, FT, MG, SP).
+
+Each module reproduces the benchmark's dominant communication pattern —
+message partners, counts, and sizes per iteration as functions of problem
+class and rank count — with an analytic compute model calibrated so the
+native class-D/256-rank runtimes land on the paper's Table 1 natives
+(DESIGN.md, substitution table).  ``validate=True`` switches to a small
+real-data kernel with a checkable numerical result.
+"""
+
+from repro.apps.nas.common import NasProblem, PROBLEMS, decompose_2d, decompose_3d
+from repro.apps.nas.bt import bt_rank
+from repro.apps.nas.cg import cg_rank
+from repro.apps.nas.ft import ft_rank
+from repro.apps.nas.mg import mg_rank
+from repro.apps.nas.sp import sp_rank
+
+NAS_APPS = {"BT": bt_rank, "CG": cg_rank, "FT": ft_rank, "MG": mg_rank, "SP": sp_rank}
+
+__all__ = [
+    "NAS_APPS",
+    "NasProblem",
+    "PROBLEMS",
+    "bt_rank",
+    "cg_rank",
+    "decompose_2d",
+    "decompose_3d",
+    "ft_rank",
+    "mg_rank",
+    "sp_rank",
+]

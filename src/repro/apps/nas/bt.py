@@ -1,0 +1,88 @@
+"""NAS BT: block-tridiagonal ADI solver on a square process grid.
+
+Per NPB BT, each iteration sweeps the three spatial dimensions; every
+sweep pipelines block boundary data forward and backward along the
+process-grid rows/columns/diagonals.  We model the multi-partition scheme
+as, per direction, a forward and a backward boundary exchange of
+``5 · (N/√p)² · 8`` bytes plus the dominant block-solve compute.
+
+``validate=True`` runs a real pipelined prefix sweep along grid rows whose
+result (prefix sums of rank ids) is exactly checkable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.nas.common import PROBLEMS, payload
+
+__all__ = ["bt_rank", "bt_validate_rank", "sweep_grid"]
+
+
+def sweep_grid(size: int) -> int:
+    """Square process grid edge (NPB BT/SP require a perfect square)."""
+    edge = int(round(math.sqrt(size)))
+    if edge * edge != size:
+        raise ValueError(f"BT/SP need a square process count, got {size}")
+    return edge
+
+
+def bt_rank(
+    mpi,
+    klass: str = "S",
+    iters: int = None,
+    flops_per_core: float = 2.5e9,
+    validate: bool = False,
+) -> Generator:
+    if validate:
+        return (yield from bt_validate_rank(mpi))
+    prob = PROBLEMS["BT"][klass]
+    n = prob.dims[0]
+    niter = iters if iters is not None else prob.iterations
+    edge = sweep_grid(mpi.size)
+    row, col = divmod(mpi.rank, edge)
+    compute = prob.compute_seconds(mpi.size, flops_per_core)
+    face_bytes = 5 * (n / edge) ** 2 * 8
+    norm = 0.0
+    for it in range(niter):
+        for direction in range(3):  # x, y, z sweeps
+            yield from mpi.compute(compute / 3)
+            if direction == 0:
+                fwd = row * edge + (col + 1) % edge
+                bwd = row * edge + (col - 1) % edge
+            elif direction == 1:
+                fwd = ((row + 1) % edge) * edge + col
+                bwd = ((row - 1) % edge) * edge + col
+            else:  # z sweep: diagonal neighbours in the multi-partition scheme
+                fwd = ((row + 1) % edge) * edge + (col + 1) % edge
+                bwd = ((row - 1) % edge) * edge + (col - 1) % edge
+            # forward substitution boundary, then backward
+            yield from mpi.sendrecv(payload(face_bytes), dest=fwd, source=bwd, sendtag=300 + direction, recvtag=300 + direction)
+            yield from mpi.sendrecv(payload(face_bytes), dest=bwd, source=fwd, sendtag=310 + direction, recvtag=310 + direction)
+        if (it + 1) % 20 == 0 or it == niter - 1:
+            norm = yield from mpi.allreduce(float(it), op="sum")
+    return norm
+
+
+def bt_validate_rank(mpi, rounds: int = 3) -> Generator:
+    """Pipelined forward sweep: each grid row computes a prefix sum of rank
+    ids left-to-right; the rightmost column verifies the closed form."""
+    edge = sweep_grid(mpi.size)
+    row, col = divmod(mpi.rank, edge)
+    total = 0.0
+    for r in range(rounds):
+        acc = float(mpi.rank)
+        if col > 0:
+            data, _ = yield from mpi.recv(source=row * edge + col - 1, tag=320)
+            acc += float(data[0])
+        if col < edge - 1:
+            yield from mpi.send(np.array([acc]), dest=row * edge + col + 1, tag=320)
+        else:
+            expected = sum(row * edge + c for c in range(edge))
+            if abs(acc - expected) > 1e-9:
+                raise AssertionError(f"BT sweep mismatch: {acc} != {expected}")
+        total += acc
+    return total

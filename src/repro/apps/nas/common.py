@@ -1,0 +1,146 @@
+"""Shared NAS problem definitions and decomposition helpers.
+
+``flops_per_iter`` values are calibrated so that a native class-D run on
+256 ranks of 2.5 GF/s cores reproduces the paper's Table 1 native
+runtimes (e.g. CG: 210.37 s / 100 iterations ≈ 2.1 s/iter ≈ 1.35 TF/iter
+across the machine).  Smaller classes use the official NPB problem sizes
+with flops scaled by the size ratio, so scaled-down bench runs keep a
+class-D-like compute:communication balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.mpi.datatypes import Phantom
+
+__all__ = ["NasProblem", "PROBLEMS", "decompose_2d", "decompose_3d", "payload"]
+
+
+@dataclass(frozen=True)
+class NasProblem:
+    """One (benchmark, class) cell of the NPB suite."""
+
+    name: str
+    klass: str
+    #: problem dimensions (semantic depends on the benchmark)
+    dims: Tuple[int, ...]
+    #: official NPB iteration count for this class
+    iterations: int
+    #: machine-total useful flops per iteration (calibrated, see module doc)
+    flops_per_iter: float
+
+    def compute_seconds(self, n_ranks: int, flops_per_core: float) -> float:
+        """Modelled local compute time per rank per iteration."""
+        return self.flops_per_iter / (n_ranks * flops_per_core)
+
+
+def _scaled(base_flops: float, base_dims: Tuple[int, ...], dims: Tuple[int, ...]) -> float:
+    ratio = 1.0
+    for b, d in zip(base_dims, dims):
+        ratio *= d / b
+    return base_flops * ratio
+
+
+# Class-D anchors derived from Table 1 natives (256 ranks x 2.5 GF/s):
+#   BT 267.24s/250it -> 6.84e11   CG 210.37s/100it -> 1.35e12
+#   FT 130.61s/25it  -> 3.34e12   MG  35.14s/50it  -> 4.50e11
+#   SP 418.62s/500it -> 5.36e11
+_D = {
+    "BT": ((408, 408, 408), 250, 6.84e11),
+    "SP": ((408, 408, 408), 500, 5.36e11),
+    "CG": ((1_500_000,), 100, 1.35e12),
+    "FT": ((2048, 1024, 1024), 25, 3.34e12),
+    "MG": ((1024, 1024, 1024), 50, 4.50e11),
+}
+
+_DIMS: Dict[str, Dict[str, Tuple[Tuple[int, ...], int]]] = {
+    "BT": {
+        "S": ((12, 12, 12), 60),
+        "W": ((24, 24, 24), 200),
+        "A": ((64, 64, 64), 200),
+        "B": ((102, 102, 102), 200),
+        "C": ((162, 162, 162), 200),
+        "D": ((408, 408, 408), 250),
+    },
+    "SP": {
+        "S": ((12, 12, 12), 100),
+        "W": ((36, 36, 36), 400),
+        "A": ((64, 64, 64), 400),
+        "B": ((102, 102, 102), 400),
+        "C": ((162, 162, 162), 400),
+        "D": ((408, 408, 408), 500),
+    },
+    "CG": {
+        "S": ((1400,), 15),
+        "W": ((7000,), 15),
+        "A": ((14000,), 15),
+        "B": ((75000,), 75),
+        "C": ((150000,), 75),
+        "D": ((1_500_000,), 100),
+    },
+    "FT": {
+        "S": ((64, 64, 64), 6),
+        "W": ((128, 128, 32), 6),
+        "A": ((256, 256, 128), 6),
+        "B": ((512, 256, 256), 20),
+        "C": ((512, 512, 512), 20),
+        "D": ((2048, 1024, 1024), 25),
+    },
+    "MG": {
+        "S": ((32, 32, 32), 4),
+        "W": ((128, 128, 128), 4),
+        "A": ((256, 256, 256), 4),
+        "B": ((256, 256, 256), 20),
+        "C": ((512, 512, 512), 20),
+        "D": ((1024, 1024, 1024), 50),
+    },
+}
+
+PROBLEMS: Dict[str, Dict[str, NasProblem]] = {}
+for _name, _classes in _DIMS.items():
+    _base_dims, _base_iter, _base_flops = _D[_name]
+    PROBLEMS[_name] = {}
+    for _klass, (_dims, _iters) in _classes.items():
+        PROBLEMS[_name][_klass] = NasProblem(
+            name=_name,
+            klass=_klass,
+            dims=_dims,
+            iterations=_iters,
+            flops_per_iter=_scaled(_base_flops, _base_dims, _dims),
+        )
+
+
+def decompose_2d(n: int) -> Tuple[int, int]:
+    """Near-square 2D factorization, power-of-two friendly (NPB CG style)."""
+    rows = 1
+    while rows * rows < n:
+        rows *= 2
+    while rows > 1 and n % rows != 0:
+        rows //= 2
+    return rows, n // rows
+
+
+def decompose_3d(n: int) -> Tuple[int, int, int]:
+    """Near-cubic 3D factorization (NPB MG style)."""
+    best = (1, 1, n)
+    best_score = n * n
+    for a in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % a:
+            continue
+        rem = n // a
+        for b in range(a, int(rem**0.5) + 2):
+            if rem % b:
+                continue
+            c = rem // b
+            score = max(a, b, c) - min(a, b, c)
+            if score < best_score:
+                best_score = score
+                best = tuple(sorted((a, b, c)))  # type: ignore[assignment]
+    return best  # type: ignore[return-value]
+
+
+def payload(nbytes: float) -> Phantom:
+    """Phantom payload of (at least one) bytes."""
+    return Phantom(max(1, int(nbytes)))

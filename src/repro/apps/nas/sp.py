@@ -1,0 +1,77 @@
+"""NAS SP: scalar-pentadiagonal ADI solver.
+
+Same multi-partition sweep topology as BT but with scalar (not block)
+lines: roughly half the per-sweep compute and thinner boundary messages,
+iterated twice as many times (class D: 500 iterations) — which is why SP's
+absolute runtime exceeds BT's while its per-iteration cost is lower.
+
+``validate=True`` runs a backward pipelined suffix sweep (the mirror image
+of BT's validation kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.nas.common import PROBLEMS, payload
+from repro.apps.nas.bt import sweep_grid
+
+__all__ = ["sp_rank", "sp_validate_rank"]
+
+
+def sp_rank(
+    mpi,
+    klass: str = "S",
+    iters: int = None,
+    flops_per_core: float = 2.5e9,
+    validate: bool = False,
+) -> Generator:
+    if validate:
+        return (yield from sp_validate_rank(mpi))
+    prob = PROBLEMS["SP"][klass]
+    n = prob.dims[0]
+    niter = iters if iters is not None else prob.iterations
+    edge = sweep_grid(mpi.size)
+    row, col = divmod(mpi.rank, edge)
+    compute = prob.compute_seconds(mpi.size, flops_per_core)
+    face_bytes = 2 * (n / edge) ** 2 * 8  # scalar lines: thinner than BT's
+    norm = 0.0
+    for it in range(niter):
+        for direction in range(3):
+            yield from mpi.compute(compute / 3)
+            if direction == 0:
+                fwd = row * edge + (col + 1) % edge
+                bwd = row * edge + (col - 1) % edge
+            elif direction == 1:
+                fwd = ((row + 1) % edge) * edge + col
+                bwd = ((row - 1) % edge) * edge + col
+            else:
+                fwd = ((row + 1) % edge) * edge + (col + 1) % edge
+                bwd = ((row - 1) % edge) * edge + (col - 1) % edge
+            yield from mpi.sendrecv(payload(face_bytes), dest=fwd, source=bwd, sendtag=400 + direction, recvtag=400 + direction)
+            yield from mpi.sendrecv(payload(face_bytes), dest=bwd, source=fwd, sendtag=410 + direction, recvtag=410 + direction)
+        if (it + 1) % 50 == 0 or it == niter - 1:
+            norm = yield from mpi.allreduce(float(it), op="sum")
+    return norm
+
+
+def sp_validate_rank(mpi, rounds: int = 3) -> Generator:
+    """Backward pipelined sweep: suffix sums right-to-left along grid rows."""
+    edge = sweep_grid(mpi.size)
+    row, col = divmod(mpi.rank, edge)
+    total = 0.0
+    for r in range(rounds):
+        acc = float(mpi.rank)
+        if col < edge - 1:
+            data, _ = yield from mpi.recv(source=row * edge + col + 1, tag=420)
+            acc += float(data[0])
+        if col > 0:
+            yield from mpi.send(np.array([acc]), dest=row * edge + col - 1, tag=420)
+        else:
+            expected = sum(row * edge + c for c in range(edge))
+            if abs(acc - expected) > 1e-9:
+                raise AssertionError(f"SP sweep mismatch: {acc} != {expected}")
+        total += acc
+    return total

@@ -1,0 +1,145 @@
+"""Generic communication patterns.
+
+Used by tests, examples, and the determinism checker:
+
+* :func:`ring` — token circulation (send-deterministic)
+* :func:`halo_1d` — nearest-neighbour exchange (send-deterministic)
+* :func:`anysource_reduce` — fan-in with ANY_SOURCE receptions: internally
+  non-deterministic reception order, externally send-deterministic — the
+  Fig. 2 situation
+* :func:`master_worker` — dynamic work distribution: **not**
+  send-deterministic (the master's send targets depend on which worker
+  answers first), the counterexample class from [Cappello et al. 2010]
+* :func:`stencil_allreduce` — compute/halo/allreduce loop, the canonical
+  SPMD shape of the paper's applications
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+import numpy as np
+
+from repro.mpi.datatypes import Phantom
+
+__all__ = ["ring", "halo_1d", "anysource_reduce", "master_worker", "stencil_allreduce"]
+
+
+def ring(mpi, laps: int = 2, nbytes: int = 64) -> Generator:
+    """Pass a token around the ring *laps* times; returns hop count."""
+    hops = 0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    token = Phantom(nbytes)
+    for _ in range(laps):
+        if mpi.rank == 0:
+            yield from mpi.send(token, dest=right, tag=3)
+            _, _ = yield from mpi.recv(source=left, tag=3)
+        else:
+            _, _ = yield from mpi.recv(source=left, tag=3)
+            yield from mpi.send(token, dest=right, tag=3)
+        hops += 1
+    return hops
+
+
+def halo_1d(mpi, iters: int = 5, width: int = 128, validate: bool = True) -> Generator:
+    """1-D periodic halo exchange; returns the final local checksum."""
+    left = (mpi.rank - 1) % mpi.size
+    right = (mpi.rank + 1) % mpi.size
+    local = np.full(width, float(mpi.rank), dtype=np.float64)
+    for it in range(iters):
+        rreqs = [
+            (yield from mpi.irecv(source=left, tag=10)),
+            (yield from mpi.irecv(source=right, tag=11)),
+        ]
+        sreqs = [
+            (yield from mpi.isend(local[:1].copy(), dest=left, tag=11)),
+            (yield from mpi.isend(local[-1:].copy(), dest=right, tag=10)),
+        ]
+        yield from mpi.waitall(sreqs + rreqs)
+        if validate:
+            lo, hi = rreqs[0].data, rreqs[1].data
+            local[0] = 0.5 * (local[0] + lo[0])
+            local[-1] = 0.5 * (local[-1] + hi[0])
+    return float(local.sum())
+
+
+def anysource_reduce(mpi, rounds: int = 4, nbytes: int = 32) -> Generator:
+    """Everyone sends to rank 0; rank 0 receives with ANY_SOURCE.
+
+    The reception *order* at rank 0 varies with timing, but the values it
+    sends back (and their order) do not — send-deterministic despite the
+    wildcard, which is exactly the property SDR-MPI exploits (Fig. 2).
+    """
+    total = 0.0
+    for r in range(rounds):
+        if mpi.rank == 0:
+            acc = 0.0
+            for _ in range(mpi.size - 1):
+                data, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=20)
+                acc += float(data[0]) if isinstance(data, np.ndarray) else 0.0
+            # Broadcast the result: same sends in every execution.
+            for dst in range(1, mpi.size):
+                yield from mpi.send(np.array([acc]), dest=dst, tag=21)
+            total += acc
+        else:
+            yield from mpi.send(np.array([float(mpi.rank * (r + 1))]), dest=0, tag=20)
+            data, _ = yield from mpi.recv(source=0, tag=21)
+            total += float(data[0])
+    return total
+
+
+def master_worker(mpi, tasks: int = 12, task_cost: float = 2e-6) -> Generator:
+    """Dynamic master-worker scheduling — NOT send-deterministic.
+
+    The master hands the next task to whichever worker reports first, so
+    the master's sequence of send destinations depends on message timing.
+    The determinism checker must flag this pattern.
+    """
+    if mpi.rank == 0:
+        next_task = 0
+        results: List[float] = []
+        active = mpi.size - 1
+        # Seed one task per worker.
+        for w in range(1, mpi.size):
+            if next_task < tasks:
+                yield from mpi.send(np.array([float(next_task)]), dest=w, tag=30)
+                next_task += 1
+            else:
+                yield from mpi.send(np.array([-1.0]), dest=w, tag=30)
+                active -= 1
+        while active > 0:
+            data, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=31)
+            results.append(float(data[0]))
+            if next_task < tasks:
+                yield from mpi.send(np.array([float(next_task)]), dest=st.source, tag=30)
+                next_task += 1
+            else:
+                yield from mpi.send(np.array([-1.0]), dest=st.source, tag=30)
+                active -= 1
+        return sum(results)
+    done = 0.0
+    while True:
+        data, _ = yield from mpi.recv(source=0, tag=30)
+        task = float(data[0])
+        if task < 0:
+            return done
+        # Rank-dependent task duration: later workers are slower, so the
+        # completion order genuinely races.
+        yield from mpi.compute(task_cost * (1 + 0.3 * mpi.rank))
+        yield from mpi.send(np.array([task * 2]), dest=0, tag=31)
+        done += task
+
+
+def stencil_allreduce(mpi, iters: int = 10, width: int = 256, compute: float = 5e-6) -> Generator:
+    """Halo exchange + local compute + convergence allreduce per iteration."""
+    left = (mpi.rank - 1) % mpi.size
+    right = (mpi.rank + 1) % mpi.size
+    buf = Phantom(width * 8)
+    norm = 0.0
+    for it in range(iters):
+        got_l, _ = yield from mpi.sendrecv(buf, dest=right, source=left, sendtag=40, recvtag=40)
+        got_r, _ = yield from mpi.sendrecv(buf, dest=left, source=right, sendtag=41, recvtag=41)
+        yield from mpi.compute(compute)
+        norm = yield from mpi.allreduce(float(mpi.rank + it), op="sum")
+    return norm

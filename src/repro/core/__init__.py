@@ -1,0 +1,28 @@
+"""The paper's contribution: SDR-MPI and its comparator protocols.
+
+* :mod:`repro.core.interpose`  — the vProtocol-style interposition contract
+* :mod:`repro.core.worlds`     — replica/world bookkeeping (Fig. 6)
+* :mod:`repro.core.membership` — failure detection + substitute election
+* :mod:`repro.core.sdr`        — the SDR-MPI protocol (§3, Algorithm 1)
+* :mod:`repro.core.recovery`   — dual-replication replica respawn (§3.4)
+* :mod:`repro.core.baselines`  — mirror (MR-MPI), leader-based (rMPI),
+  redMPI-style SDC detection
+"""
+
+from repro.core.config import PROTOCOLS, ReplicationConfig
+from repro.core.interpose import BaseProtocol, NativeProtocol, RecvHandle, SendHandle
+from repro.core.membership import MembershipService
+from repro.core.sdr import SdrProtocol
+from repro.core.worlds import ReplicaMap
+
+__all__ = [
+    "BaseProtocol",
+    "MembershipService",
+    "NativeProtocol",
+    "PROTOCOLS",
+    "RecvHandle",
+    "ReplicaMap",
+    "ReplicationConfig",
+    "SdrProtocol",
+    "SendHandle",
+]

@@ -1,0 +1,18 @@
+"""Comparator protocols from the related work (§2.4).
+
+* :class:`~repro.core.baselines.mirror.MirrorProtocol` — MR-MPI-style
+  mirror protocol: every replica of the sender transmits to every replica
+  of the receiver (O(q·r²) application messages).
+* :class:`~repro.core.baselines.leader.LeaderProtocol` — rMPI-style
+  parallel protocol where a leader replica decides the outcome of
+  non-deterministic calls (ANY_SOURCE receptions) and broadcasts it.
+* :class:`~repro.core.baselines.redmpi.RedMpiProtocol` — redMPI-style
+  silent-data-corruption detection: payload hashes are cross-checked
+  between replica sets; leader-based ANY_SOURCE; no crash tolerance.
+"""
+
+from repro.core.baselines.leader import LeaderProtocol
+from repro.core.baselines.mirror import MirrorProtocol
+from repro.core.baselines.redmpi import RedMpiProtocol, SdcEvent
+
+__all__ = ["LeaderProtocol", "MirrorProtocol", "RedMpiProtocol", "SdcEvent"]

@@ -1,0 +1,156 @@
+"""rMPI-style leader-based parallel protocol (§2.4, §3.1).
+
+Identical to SDR-MPI on the send/ack path, but non-deterministic receive
+outcomes are **agreed** instead of resolved locally: the leader replica of
+a rank posts anonymous receives normally; when one matches (``pml_match`` —
+the source is now known), the leader sends the decided ``(source, tag)`` to
+its follower replicas.  A follower holds its anonymous receive *deferred*
+until the decision arrives, then posts a specific-source receive.
+
+Cost structure the paper predicts (Fig. 2, §3.1) and the ``abl-leader``
+experiment measures:
+
+* an extra leader→follower control message on the critical path of every
+  anonymous reception;
+* followers post their receives late, so messages land in the unexpected
+  queue (extra copy in a real MPI; counted by the matching engine here).
+
+Deterministic receives take the SDR fast path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.core.interpose import RecvHandle, SendHandle
+from repro.core.sdr import SdrProtocol
+from repro.mpi.pml import Envelope, Pml, PmlRecvRequest
+from repro.mpi.status import ANY_SOURCE, Status
+
+__all__ = ["LeaderProtocol", "LeaderDecideMixin", "DeferredRecvHandle"]
+
+#: ctrl key for leader decisions on anonymous receptions
+DECIDE = "ldr.decide"
+
+
+class DeferredRecvHandle(RecvHandle):
+    """A follower's anonymous receive, parked until the leader decides."""
+
+    __slots__ = ("proto", "anon_id", "ctx", "tag", "buf", "_posted")
+
+    def __init__(self, proto: "LeaderDecideMixin", anon_id: int, ctx: Any, tag: int, buf: Any) -> None:
+        super().__init__(PmlRecvRequest(ctx, ANY_SOURCE, tag, buf))  # placeholder
+        self.proto = proto
+        self.anon_id = anon_id
+        self.ctx = ctx
+        self.tag = tag
+        self.buf = buf
+        self._posted = False
+
+    @property
+    def done(self) -> bool:
+        return self._posted and self.pml_req.done
+
+    def advance(self) -> Generator:
+        if not self._posted:
+            decision = self.proto.decisions.pop(self.anon_id, None)
+            if decision is not None:
+                source, tag = decision
+                self.pml_req = yield from self.proto.pml.irecv(
+                    ctx=self.ctx, source=source, tag=tag, buf=self.buf
+                )
+                self._posted = True
+
+
+class LeaderDecideMixin:
+    """Leader election + decision plumbing for anonymous receptions.
+
+    Mixed into protocols that must agree on non-deterministic outcomes
+    (this baseline and redMPI).  Requires the host protocol to provide
+    ``pml``, ``rmap``, ``membership``, ``rank``, ``rep``.
+    """
+
+    def _init_decider(self) -> None:
+        self._anon_seq = 0
+        #: follower side: anon_id -> decided (source, tag)
+        self.decisions: Dict[int, Tuple[int, int]] = {}
+        #: leader side: pml request -> anon_id, resolved at pml_match
+        self._anon_pending: Dict[int, int] = {}
+        #: anon_id being posted right now (an anonymous receive can match an
+        #: unexpected message *during* irecv, before we learn the request id)
+        self._arming_anon: Optional[int] = None
+        self.decisions_sent = 0
+        self.anonymous_recvs = 0
+        self.pml.ctrl_handlers[DECIDE] = self._on_decide
+        self.pml.on_match.append(self._decide_on_match)
+
+    def _is_leader(self) -> bool:
+        """The leader is the lowest alive replica of my rank."""
+        alive = self.membership.alive_replicas(self.rank)
+        return bool(alive) and self.rmap.rep_of(alive[0]) == self.rep
+
+    def _next_anon_id(self) -> int:
+        self._anon_seq += 1
+        return self._anon_seq
+
+    def _decide_on_match(self, recv: PmlRecvRequest, env: Envelope) -> Optional[Generator]:
+        anon_id = self._anon_pending.pop(id(recv), None)
+        if anon_id is None:
+            # Matched from the unexpected queue while still inside irecv.
+            anon_id, self._arming_anon = self._arming_anon, None
+        if anon_id is None:
+            return None
+        return self._broadcast_decision(anon_id, env)
+
+    def _broadcast_decision(self, anon_id: int, env: Envelope) -> Generator:
+        for rep in range(self.rmap.degree):
+            if rep == self.rep:
+                continue
+            ph = self.rmap.phys(self.rank, rep)
+            if self.membership.is_alive(ph):
+                self.decisions_sent += 1
+                yield from self.pml.send_ctrl(ph, DECIDE, (anon_id, env.src_rank, env.tag))
+
+    def _on_decide(self, env: Envelope) -> Generator:
+        anon_id, source, tag = env.data
+        self.decisions[anon_id] = (source, tag)
+        yield from ()
+
+    def leader_irecv(self, ctx, source, tag, buf) -> Generator[Any, Any, RecvHandle]:
+        """Anonymous-reception entry point used by app_irecv overrides."""
+        self.anonymous_recvs += 1
+        anon_id = self._next_anon_id()
+        if self._is_leader():
+            self._arming_anon = anon_id
+            req = yield from self.pml.irecv(ctx=ctx, source=source, tag=tag, buf=buf)
+            if self._arming_anon is None:
+                # Decision already broadcast from the in-irecv match.
+                return RecvHandle(req)
+            self._arming_anon = None
+            self._anon_pending[id(req)] = anon_id
+            return RecvHandle(req)
+        return DeferredRecvHandle(self, anon_id, ctx, tag, buf)
+
+
+class LeaderProtocol(LeaderDecideMixin, SdrProtocol):
+    """SDR's send/ack machinery + leader-based anonymous receptions."""
+
+    name = "leader"
+
+    def __init__(self, pml, rmap, membership, cfg) -> None:
+        SdrProtocol.__init__(self, pml, rmap, membership, cfg)
+        self._init_decider()
+
+    def app_irecv(self, ctx, source, tag, buf=None) -> Generator[Any, Any, RecvHandle]:
+        if source == ANY_SOURCE:
+            self.app_recvs += 1
+            return (yield from self.leader_irecv(ctx, source, tag, buf))
+        return (yield from SdrProtocol.app_irecv(self, ctx, source, tag, buf))
+
+    def stats(self) -> dict:
+        base = SdrProtocol.stats(self)
+        base.update(
+            decisions_sent=self.decisions_sent,
+            anonymous_recvs=self.anonymous_recvs,
+        )
+        return base

@@ -1,0 +1,62 @@
+"""Replication run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+__all__ = ["ReplicationConfig", "PROTOCOLS"]
+
+#: protocols selectable by name in the harness
+PROTOCOLS = ("native", "sdr", "mirror", "leader", "redmpi")
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Knobs of a replicated execution.
+
+    ``degree`` is the paper's *r*.  The experiments all use ``degree=2``
+    ("dual replication, which is the common case to deal with crashes",
+    §3.4); the SDR and mirror protocols work for any r ≥ 2, but recovery is
+    dual-replication-only by the paper's own impossibility argument.
+    """
+
+    degree: int = 2
+    protocol: str = "sdr"
+    #: failure-detector notification latency (external service, §3.2)
+    detection_delay: float = 10e-6
+    #: wire size of an acknowledgement frame
+    ack_bytes: int = 32
+    #: wire size of a redMPI payload-hash frame
+    hash_bytes: int = 16
+    #: CPU cost of posting one expected-ack receive (Algorithm 1 line 9 —
+    #: the sender posts an irecv per other destination replica)
+    ack_post_overhead: float = 0.35e-6
+    #: CPU cost of matching an arriving ack to its pending send request
+    #: (the waitall(sendReq.acks) bookkeeping, Algorithm 1 line 14)
+    ack_handle_overhead: float = 0.35e-6
+    #: Partial replication (§5 research direction / MR-MPI feature): only
+    #: these ranks get replicas; None means every rank is replicated.
+    #: Unreplicated ranks run a single copy whose crash loses the rank —
+    #: the resilience/resource trade-off of Elliott et al. [6].
+    replicated_ranks: Optional[FrozenSet[int]] = None
+
+    def rank_is_replicated(self, rank: int) -> bool:
+        return self.replicated_ranks is None or rank in self.replicated_ranks
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; have {PROTOCOLS}")
+        if self.protocol == "native":
+            if self.degree != 1:
+                raise ValueError("native protocol runs with degree=1")
+        elif self.degree < 2:
+            raise ValueError(f"replication protocol {self.protocol!r} needs degree >= 2")
+        if self.detection_delay < 0:
+            raise ValueError("detection delay cannot be negative")
+        if self.replicated_ranks is not None:
+            if self.protocol == "native":
+                raise ValueError("partial replication requires a replication protocol")
+            object.__setattr__(self, "replicated_ranks", frozenset(self.replicated_ranks))
+            if any(r < 0 for r in self.replicated_ranks):
+                raise ValueError("replicated_ranks must be non-negative rank ids")

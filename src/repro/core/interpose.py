@@ -1,0 +1,157 @@
+"""The vProtocol-style interposition contract.
+
+Open MPI's vProtocol framework lets a fault-tolerance layer wrap the PML
+without reimplementing it (§4.1): it adds pre/post-treatment around
+``pml_send`` and subscribes to the ``pml_match`` / ``pml_recv_complete``
+events.  :class:`BaseProtocol` is that surface here.  The API facade calls
+``app_isend`` / ``app_irecv``; protocols return :class:`SendHandle` /
+:class:`RecvHandle` objects whose ``done`` predicate encodes any extra
+completion conditions (SDR-MPI: "all r-1 acks collected").
+
+:class:`NativeProtocol` is the identity interposition — unmodified Open
+MPI — used for every "Native" column in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.mpi.pml import Pml, PmlRecvRequest, PmlSendRequest
+from repro.mpi.status import Status
+
+__all__ = ["SendHandle", "RecvHandle", "BaseProtocol", "NativeProtocol"]
+
+
+def _noop() -> Generator:
+    """An empty generator (the default, cost-free advance)."""
+    return
+    yield  # pragma: no cover
+
+
+class SendHandle:
+    """Application-level send completion handle.
+
+    ``done`` is MPI_Wait's predicate for the send: the library-level sends
+    have completed *and* every protocol condition holds.  ``needs_ack`` is
+    populated by parallel protocols (empty for native/mirror).
+    """
+
+    __slots__ = ("pml_reqs", "needs_ack", "status", "world_dst", "seq", "payload", "nbytes")
+
+    def __init__(
+        self,
+        pml_reqs: List[PmlSendRequest],
+        world_dst: int,
+        seq: int,
+        payload: Any = None,
+        nbytes: int = 0,
+    ) -> None:
+        self.pml_reqs = pml_reqs
+        self.needs_ack: set = set()
+        self.status: Optional[Status] = None
+        self.world_dst = world_dst
+        self.seq = seq
+        self.payload = payload
+        self.nbytes = nbytes
+
+    @property
+    def done(self) -> bool:
+        return not self.needs_ack and all(r.done for r in self.pml_reqs)
+
+    def advance(self) -> Generator:
+        return _noop()
+
+
+class RecvHandle:
+    """Application-level receive handle wrapping a PML receive request."""
+
+    __slots__ = ("pml_req",)
+
+    def __init__(self, pml_req: PmlRecvRequest) -> None:
+        self.pml_req = pml_req
+
+    @property
+    def done(self) -> bool:
+        return self.pml_req.done
+
+    @property
+    def data(self) -> Any:
+        return self.pml_req.data
+
+    @property
+    def status(self) -> Optional[Status]:
+        return self.pml_req.status
+
+    def advance(self) -> Generator:
+        return _noop()
+
+
+class BaseProtocol:
+    """Common state: per-destination application-message sequence numbers.
+
+    ``seq`` is the per (my world rank → destination world rank) counter of
+    application messages in program order.  Send-determinism (Definition 1)
+    guarantees replicas assign identical numbers to corresponding messages —
+    the invariant every replication protocol here keys on.
+    """
+
+    name = "base"
+
+    def __init__(self, pml: Pml, world_rank: int) -> None:
+        self.pml = pml
+        self.world_rank = world_rank
+        self._send_seq: Dict[int, int] = {}
+        #: messages sent/received at the application level (metrics)
+        self.app_sends = 0
+        self.app_recvs = 0
+
+    def next_seq(self, world_dst: int) -> int:
+        seq = self._send_seq.get(world_dst, 0)
+        self._send_seq[world_dst] = seq + 1
+        return seq
+
+    # ------------------------------------------------------------- interface
+    def app_isend(
+        self, ctx: Any, src_rank: int, tag: int, data: Any, world_dst: int,
+        synchronous: bool = False,
+    ) -> Generator[Any, Any, SendHandle]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def app_irecv(
+        self, ctx: Any, source: int, tag: int, buf: Any = None
+    ) -> Generator[Any, Any, RecvHandle]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return {
+            "app_sends": self.app_sends,
+            "app_recvs": self.app_recvs,
+            **self.pml.matching.stats(),
+        }
+
+
+class NativeProtocol(BaseProtocol):
+    """Identity interposition: world rank == physical process."""
+
+    name = "native"
+
+    def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator:
+        self.app_sends += 1
+        seq = self.next_seq(world_dst)
+        req = yield from self.pml.isend(
+            ctx=ctx,
+            src_rank=src_rank,
+            tag=tag,
+            data=data,
+            world_src=self.world_rank,
+            world_dst=world_dst,
+            seq=seq,
+            dst_phys=world_dst,
+            synchronous=synchronous,
+        )
+        return SendHandle([req], world_dst, seq, nbytes=req.nbytes)
+
+    def app_irecv(self, ctx, source, tag, buf=None) -> Generator:
+        self.app_recvs += 1
+        req = yield from self.pml.irecv(ctx=ctx, source=source, tag=tag, buf=buf)
+        return RecvHandle(req)

@@ -1,0 +1,195 @@
+"""File I/O for replicated execution (the paper's planned integration, §4.1).
+
+    "Since I/O operations are often used to save intermediate results and
+    implement application-level checkpointing, we plan to integrate
+    application level checkpointing using the solution proposed in [1]
+    to handle IO in a replicated MPI application."
+
+[1] Böhm & Engelmann, "File I/O for MPI applications in redundant execution
+scenarios" (PDP 2012) describe the problem: with r replicas, naive file
+output happens r times (corrupting appends, r× PFS traffic).  This module
+implements their two practical strategies on a simulated parallel file
+system:
+
+* ``leader``  — only the current leader replica of each rank physically
+  writes; other replicas' writes are suppressed (a crash promotes the
+  survivor to writer, so output continues across failures);
+* ``compare`` — like ``leader``, plus every replica's payload digest is
+  cross-checked, turning file output into a free silent-data-corruption
+  detector (the redMPI idea applied at the I/O boundary).
+
+Reads are served to every replica identically, so a send-deterministic
+application stays send-deterministic when it does I/O.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpi.datatypes import Phantom, nbytes_of
+from repro.sim.kernel import Simulator
+from repro.sim.sync import Timeout
+
+__all__ = ["VirtualFileSystem", "IoDivergence", "ReplicatedIo", "NativeIo"]
+
+
+def _digest(data: Any) -> int:
+    if data is None:
+        return 0
+    if isinstance(data, Phantom):
+        return hash(("phantom", data.nbytes)) & 0xFFFFFFFFFFFFFFFF
+    if isinstance(data, np.ndarray):
+        raw = data.tobytes()
+    elif isinstance(data, (bytes, bytearray)):
+        raw = bytes(data)
+    elif isinstance(data, str):
+        raw = data.encode()
+    else:
+        raw = repr(data).encode()
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=8).digest(), "little")
+
+
+@dataclass
+class IoDivergence:
+    """Two replicas tried to write different content for the same logical
+    write — a silent fault caught at the I/O boundary."""
+
+    rank: int
+    op_seq: int
+    path: str
+    digest_a: int
+    digest_b: int
+    detected_at: float
+
+
+@dataclass
+class VirtualFileSystem:
+    """A job-wide parallel-file-system stand-in.
+
+    Files are append logs of (writer world rank, payload) records; a
+    physical write costs ``latency + nbytes / bandwidth`` of virtual time,
+    modelling PFS pressure (the paper's intro: checkpoint traffic contends
+    exactly here).
+    """
+
+    sim: Simulator
+    bandwidth: float = 1.0e9  # 1 GB/s per writer
+    latency: float = 50e-6
+    files: Dict[str, List[Tuple[int, Any]]] = field(default_factory=dict)
+    #: idempotence: one physical record per (rank, logical write) — lets a
+    #: promoted writer replay history without duplicating output
+    seen_ops: set = field(default_factory=set)
+    #: (rank, op_seq) -> {replica: digest}, compare-mode bookkeeping
+    digests: Dict[Tuple[int, int], Dict[int, Tuple[str, int]]] = field(default_factory=dict)
+    divergences: List[IoDivergence] = field(default_factory=list)
+    physical_writes: int = 0
+    suppressed_writes: int = 0
+
+    def write_cost(self, data: Any) -> float:
+        return self.latency + nbytes_of(data) / self.bandwidth
+
+    def append(self, path: str, rank: int, op_seq: int, data: Any) -> bool:
+        """Record a logical write once; duplicates (replays) are no-ops."""
+        key = (rank, op_seq)
+        if key in self.seen_ops:
+            return False
+        self.seen_ops.add(key)
+        self.files.setdefault(path, []).append((rank, data))
+        self.physical_writes += 1
+        return True
+
+    def read(self, path: str) -> List[Tuple[int, Any]]:
+        return list(self.files.get(path, []))
+
+    def offer_digest(self, rank: int, op_seq: int, rep: int, path: str, digest: int) -> None:
+        """Compare-mode: collect one replica's digest, flag disagreements."""
+        entry = self.digests.setdefault((rank, op_seq), {})
+        for other_rep, (other_path, other_digest) in entry.items():
+            if other_digest != digest or other_path != path:
+                self.divergences.append(
+                    IoDivergence(rank, op_seq, path, other_digest, digest, self.sim.now)
+                )
+        entry[rep] = (path, digest)
+
+
+class NativeIo:
+    """Unreplicated I/O: every process writes directly."""
+
+    def __init__(self, vfs: VirtualFileSystem, rank: int) -> None:
+        self.vfs = vfs
+        self.rank = rank
+        self.op_seq = 0
+
+    def write(self, path: str, data: Any) -> Generator:
+        self.op_seq += 1
+        yield Timeout(self.vfs.sim, self.vfs.write_cost(data))
+        self.vfs.append(path, self.rank, self.op_seq, data)
+
+    def read(self, path: str) -> Generator:
+        yield Timeout(self.vfs.sim, self.vfs.latency)
+        return self.vfs.read(path)
+
+
+class ReplicatedIo:
+    """Replica-aware I/O: one physical write per logical write.
+
+    The writer is the rank's current leader replica (lowest alive index),
+    so a crash transparently promotes the survivor — file output never
+    stops and never duplicates.  ``op_seq`` counts logical writes in
+    program order; send-determinism makes it identical across replicas,
+    which is what lets the compare mode pair digests without any extra
+    messages.
+    """
+
+    def __init__(self, vfs: VirtualFileSystem, protocol, mode: str = "compare") -> None:
+        if mode not in ("leader", "compare"):
+            raise ValueError(f"unknown replicated-IO mode {mode!r}")
+        self.vfs = vfs
+        self.protocol = protocol  # a ReplicatedBase: rank, rep, membership, rmap
+        self.mode = mode
+        self.op_seq = 0
+        self._was_writer: Optional[bool] = None
+        #: suppressed writes retained for replay on writer promotion —
+        #: Böhm & Engelmann's buffering requirement: the leader may die
+        #: having written less than the survivor has already suppressed.
+        self._history: List[Tuple[int, str, Any]] = []
+        self.replayed = 0
+
+    def _is_writer(self) -> bool:
+        alive = self.protocol.membership.alive_replicas(self.protocol.rank)
+        return bool(alive) and self.protocol.rmap.rep_of(alive[0]) == self.protocol.rep
+
+    def _maybe_promote(self) -> Generator:
+        writer = self._is_writer()
+        if writer and self._was_writer is False:
+            # Promotion: the old leader may not have flushed everything we
+            # already suppressed — replay; the VFS dedups by (rank, op).
+            for op_seq, path, data in self._history:
+                if self.vfs.append(path, self.protocol.rank, op_seq, data):
+                    self.replayed += 1
+                    yield Timeout(self.vfs.sim, self.vfs.write_cost(data))
+            self._history.clear()
+        self._was_writer = writer
+        yield from ()
+
+    def write(self, path: str, data: Any) -> Generator:
+        yield from self._maybe_promote()
+        self.op_seq += 1
+        rank, rep = self.protocol.rank, self.protocol.rep
+        if self.mode == "compare":
+            self.vfs.offer_digest(rank, self.op_seq, rep, path, _digest(data))
+        if self._is_writer():
+            yield Timeout(self.vfs.sim, self.vfs.write_cost(data))
+            self.vfs.append(path, rank, self.op_seq, data)
+        else:
+            self.vfs.suppressed_writes += 1
+            self._history.append((self.op_seq, path, data))
+
+    def read(self, path: str) -> Generator:
+        yield from self._maybe_promote()
+        yield Timeout(self.vfs.sim, self.vfs.latency)
+        return self.vfs.read(path)

@@ -1,0 +1,97 @@
+"""Failure detection and substitute election.
+
+The paper assumes "failures are detected by an external service provided in
+the system" delivering a consistent view to all processes (§3.2).  This
+module is that service: a perfect (no false positives), eventually-notifying
+detector.  When a process crashes, every live process receives a
+notification ``detection_delay`` seconds later, processed — like everything
+else — at its next MPI call (no asynchronous progress).
+
+Substitute election (Algorithm 1 line 19) is deterministic: the lowest
+replica index still alive for the failed rank.  Every process computes the
+same answer from the same notification without extra communication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.worlds import ReplicaMap
+from repro.network.fabric import Fabric, Frame
+from repro.sim.kernel import Simulator
+
+__all__ = ["MembershipService", "elect_substitute"]
+
+
+def elect_substitute(rmap: ReplicaMap, rank: int, alive: Callable[[int], bool]) -> Optional[int]:
+    """Lowest alive replica index of *rank*, or None if all replicas died."""
+    for rep in range(rmap.degree):
+        if alive(rmap.phys(rank, rep)):
+            return rep
+    return None
+
+
+class MembershipService:
+    """Job-wide crash bookkeeping + per-process notification fan-out."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        rmap: ReplicaMap,
+        detection_delay: float = 10e-6,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.rmap = rmap
+        self.detection_delay = detection_delay
+        self.failed: List[int] = []
+        #: ranks whose every replica has failed (application is lost)
+        self.lost_ranks: Set[int] = set()
+        self.on_rank_lost: List[Callable[[int], None]] = []
+        fabric.on_crash.append(self._on_crash)
+
+    def is_alive(self, proc: int) -> bool:
+        return self.fabric.is_alive(proc)
+
+    def alive_replicas(self, rank: int) -> List[int]:
+        return [p for p in self.rmap.replicas_of(rank) if self.is_alive(p)]
+
+    def substitute_rep(self, rank: int) -> Optional[int]:
+        return elect_substitute(self.rmap, rank, self.is_alive)
+
+    def crash(self, proc: int) -> None:
+        """Inject a fail-stop crash (used by fault schedules)."""
+        self.fabric.crash(proc)  # triggers _on_crash via the fabric listener
+
+    def _on_crash(self, proc: int) -> None:
+        self.failed.append(proc)
+        rank = self.rmap.rank_of(proc)
+        if not self.alive_replicas(rank):
+            self.lost_ranks.add(rank)
+            for cb in list(self.on_rank_lost):
+                cb(rank)
+        # Notify every live process after the detection delay.  Delivery is
+        # a service frame straight into the endpoint (the detector is not an
+        # MPI peer), handled at the victim's next MPI call.
+        when = self.sim.now + self.detection_delay
+        for p, ep in self.fabric.endpoints.items():
+            if p != proc and ep.alive:
+                self.sim.call_at(
+                    when,
+                    lambda ep=ep, proc=proc: ep.deliver(
+                        Frame(src=-1, dst=ep.proc, size=0, payload=("failure", proc), kind="svc")
+                    ),
+                )
+
+    def announce_recovery(self, proc: int) -> None:
+        """Re-admit a respawned physical process (recovery, §3.4).
+
+        Only fabric-level revival; the protocol-level notification is
+        broadcast by the substitute over FIFO channels, as the paper
+        requires — see :mod:`repro.core.recovery`.
+        """
+        self.fabric.revive(proc)
+        if proc in self.failed:
+            self.failed.remove(proc)
+        self.lost_ranks.discard(self.rmap.rank_of(proc))

@@ -1,0 +1,120 @@
+"""Replica recovery for dual replication (§3.4).
+
+Sequence, exactly as the paper specifies:
+
+1. The substitute of the failed replica **forks** a fresh process at the
+   failed replica's slot.  In the paper this is a POSIX fork (memory clone);
+   here — where application state lives in generator frames — the fork
+   happens at an application-declared quiescent point
+   (``yield from mpi.recovery_point()``) and clones (a) the application's
+   registered state object and (b) the protocol state that matters: the
+   receive-side sequence cursors, the send counters, and the retention
+   table.  DESIGN.md records this substitution.
+2. The substitute **broadcasts a notification** to every alive process over
+   the regular FIFO channels.
+3. FIFO ordering between the substitute's earlier acks and the notification
+   lets every peer decide which messages the new replica is missing: every
+   retained message toward the recovered rank not yet acked by the
+   substitute is (re)sent to the new replica
+   (:meth:`repro.core.sdr.SdrProtocol._on_recovered`).
+4. Acks toward the new replica resume for messages received after the
+   notification (automatic: ack fan-out targets all alive replicas).
+
+The paper's restrictions are enforced: recovery requires ``degree == 2``
+(the single-broadcast FIFO argument fails for r ≥ 3 — an explicit error
+here), and the substitute must not fail between fork and broadcast (both
+happen within one uninterrupted recovery-point call).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.membership import MembershipService
+from repro.core.sdr import SdrProtocol
+from repro.core.worlds import ReplicaMap
+from repro.mpi.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.runner import Job
+
+__all__ = ["RecoveryManager", "RecoveryUnsupported"]
+
+
+class RecoveryUnsupported(MpiError):
+    """Raised when recovery is requested outside its validity envelope."""
+
+
+class RecoveryManager:
+    """Orchestrates §3.4 respawns for a replicated job."""
+
+    def __init__(self, job: "Job") -> None:
+        if job.cfg.degree != 2:
+            raise RecoveryUnsupported(
+                f"recovery works only for dual replication (degree=2), got "
+                f"degree={job.cfg.degree}: with more replicas a single broadcast "
+                "cannot order messages relative to the fork (§3.4)"
+            )
+        if job.cfg.protocol != "sdr":
+            raise RecoveryUnsupported(f"recovery requires the SDR protocol, got {job.cfg.protocol!r}")
+        self.job = job
+        self.rmap: ReplicaMap = job.rmap
+        self.membership: MembershipService = job.membership
+        #: ranks whose dead replica should be respawned at the next
+        #: recovery point of the substitute
+        self.pending: List[int] = []
+        self.respawns_done: List[int] = []
+        for proto in job.protocols.values():
+            if isinstance(proto, SdrProtocol):
+                proto.recovery_hook = self._at_recovery_point
+
+    def request_respawn(self, rank: int) -> None:
+        """Ask for the dead replica of *rank* to be recovered."""
+        if rank not in self.pending:
+            self.pending.append(rank)
+
+    # ------------------------------------------------------------------ hook
+    def _at_recovery_point(self, proto: SdrProtocol) -> Generator:
+        """Runs inside every SDR process at each app recovery point; acts
+        only on the substitute of a pending rank."""
+        for rank in list(self.pending):
+            if proto.rank != rank:
+                continue
+            if not self.job.cfg.rank_is_replicated(rank):
+                continue  # partial replication: nothing to respawn
+            dead = [
+                rep
+                for rep in range(self.rmap.degree)
+                if not self.membership.is_alive(self.rmap.phys(rank, rep))
+            ]
+            if len(dead) != 1:
+                continue  # nothing to do (not failed) or rank fully lost
+            rep_f = dead[0]
+            if self.membership.substitute_rep(rank) != proto.rep:
+                continue  # not the substitute
+            if proto.substitute.get(rep_f) != proto.rep:
+                # The failure notification has not reached this process yet
+                # (Algorithm 1 lines 26-27 have not run): forking now would
+                # race the failover itself.  Try again at the next point.
+                continue
+            self.pending.remove(rank)
+            yield from self._respawn(proto, rank, rep_f)
+
+    def _respawn(self, proto: SdrProtocol, rank: int, rep_f: int) -> Generator:
+        new_proc = self.rmap.phys(rank, rep_f)
+        mpi = self.job.mpis[proto.pml.proc]
+        if mpi.app_state is None:
+            raise RecoveryUnsupported(
+                f"rank {rank}: application did not register a recoverable state "
+                "object (mpi.register_state) — cannot fork"
+            )
+        # (1) fork: clone application + protocol state at this quiescent point.
+        app_state = copy.deepcopy(mpi.app_state)
+        proto_state = proto.clone_state_for_respawn()
+        self.membership.announce_recovery(new_proc)
+        self.job.spawn_replica(new_proc, app_state, proto_state)
+        # (2) notify everyone over FIFO channels; substitute drops its
+        # on-behalf duties in the same breath.
+        yield from proto.broadcast_recovery(new_proc, rep_f)
+        self.respawns_done.append(new_proc)

@@ -1,0 +1,134 @@
+"""Shared machinery for all replication protocols.
+
+Every replication protocol (SDR, mirror, leader-based, redMPI) needs the
+same receive-side discipline:
+
+* **logical-channel sequencing** — application message *s* on the logical
+  channel (rank i → rank j) carries the same sequence number on every
+  replica (send-determinism, Definition 1), regardless of which physical
+  process transmitted it;
+* **duplicate suppression** — mirror copies, substitute resends after a
+  failover, and recovery replays may deliver the same logical message more
+  than once;
+* **in-order release** — MPI's non-overtaking guarantee must hold per
+  logical channel even when the transmitting physical process changes
+  mid-stream (failover, recovery), so envelopes are released to matching in
+  sequence order, with a reorder buffer for early arrivals.
+
+On the steady-state path (no failures) frames already arrive in order on a
+single FIFO channel, so the filter is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.config import ReplicationConfig
+from repro.core.interpose import BaseProtocol
+from repro.core.membership import MembershipService
+from repro.core.worlds import ReplicaMap
+from repro.mpi.pml import CTS_BYTES, Envelope, Pml
+
+__all__ = ["ReplicatedBase"]
+
+
+class ReplicatedBase(BaseProtocol):
+    """Replica-aware protocol base: dedup + reorder + failure plumbing."""
+
+    name = "replicated"
+
+    def __init__(
+        self,
+        pml: Pml,
+        rmap: ReplicaMap,
+        membership: MembershipService,
+        cfg: ReplicationConfig,
+    ) -> None:
+        rank = rmap.rank_of(pml.proc)
+        super().__init__(pml, world_rank=rank)
+        self.rmap = rmap
+        self.membership = membership
+        self.cfg = cfg
+        self.rank = rank
+        self.rep = rmap.rep_of(pml.proc)
+        #: next expected seq per sending logical rank (receive-side cursor)
+        self._expected: Dict[int, int] = {}
+        #: early arrivals per sending logical rank: seq -> envelope
+        self._reorder: Dict[int, Dict[int, Envelope]] = {}
+        self.duplicates_dropped = 0
+        pml.incoming_filter = self._filter_incoming
+        pml.svc_handlers["failure"] = self._svc_failure
+
+    # --------------------------------------------------------- receive side
+    def _filter_incoming(self, env: Envelope) -> Generator[Any, Any, bool]:
+        """Release application envelopes to matching in per-channel order.
+
+        Always returns False: delivery (if any) is performed here so that
+        held-back successors can be flushed in the right order.
+        """
+        src = env.world_src
+        expected = self._expected.get(src, 0)
+        if env.seq == expected:
+            self._expected[src] = expected + 1
+            yield from self.pml.deliver_to_matching(env)
+            held = self._reorder.get(src)
+            while held:
+                nxt = self._expected[src]
+                early = held.pop(nxt, None)
+                if early is None:
+                    break
+                self._expected[src] = nxt + 1
+                yield from self.pml.deliver_to_matching(early)
+            return False
+        if env.seq > expected:
+            self._reorder.setdefault(src, {})[env.seq] = env
+            return False
+        # Duplicate: mirror copy, substitute resend, or recovery replay.
+        self.duplicates_dropped += 1
+        yield from self._on_duplicate(env)
+        return False
+
+    def _on_duplicate(self, env: Envelope) -> Generator:
+        """Default duplicate handling.
+
+        A duplicate RTS must still be answered with a CTS so the sender's
+        rendezvous request can complete; the DATA frame then finds no
+        pending receive and is dropped by the PML.
+        """
+        if env.kind == "rts":
+            cts = Envelope(
+                kind="cts",
+                ctx=env.ctx,
+                src_rank=-1,
+                tag=-1,
+                world_src=-1,
+                world_dst=-1,
+                seq=env.seq,
+                nbytes=CTS_BYTES,
+                data=None,
+                src_phys=self.pml.proc,
+                dst_phys=env.src_phys,
+                msg_id=env.msg_id,
+            )
+            yield from self.pml.inject(cts, CTS_BYTES)
+
+    # ---------------------------------------------------------- replica math
+    def alive_replicas_of(self, rank: int) -> List[int]:
+        return self.membership.alive_replicas(rank)
+
+    def pair_of(self, rank: int) -> int:
+        """My same-index replica of *rank* (the parallel-protocol partner)."""
+        return self.rmap.phys(rank, self.rep)
+
+    # -------------------------------------------------------------- failures
+    def _svc_failure(self, failed: int) -> Generator:
+        """Failure-notification entry point; protocols override on_failure."""
+        yield from self.on_failure(failed)
+
+    def on_failure(self, failed: int) -> Generator:
+        yield from ()
+
+    def stats(self) -> dict:
+        base = super().stats()
+        base["duplicates_dropped"] = self.duplicates_dropped
+        return base

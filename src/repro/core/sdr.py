@@ -1,0 +1,380 @@
+"""SDR-MPI: the paper's send-deterministic parallel replication protocol.
+
+Protocol summary (§3.2, Algorithm 1):
+
+* **Parallel sends** — replica *k* of rank *i* sends each application
+  message only to replica *k* of the destination rank (``physicalDests``).
+* **Receiver-side acks** — when a message is fully received at the library
+  level (``pml_recv_complete``), the receiver sends an ack to every *other*
+  alive replica of the sending rank.  Acking at ``irecvComplete`` rather
+  than at application-level completion is what breaks the
+  Irecv/Send/Wait deadlock (§3.3).
+* **Gated send completion** — a send request completes only when its
+  library-level sends are done *and* acks from all other alive replicas of
+  the destination rank have been collected (``MPI_Wait`` lines 12-14).
+* **Retention** — the payload of every message still missing acks is
+  retained; if a replica of my own rank fails and I am elected substitute,
+  I transmit the retained messages its receivers never got (lines 18-27)
+  and take over its send duties.
+* **No leader** — anonymous receptions (``MPI_ANY_SOURCE``) are resolved
+  locally on each replica; send-determinism guarantees the externally
+  visible behaviour cannot diverge (§3.1, Fig. 2).
+
+Differences from Algorithm 1, all behaviour-preserving:
+
+* acks are handled through a table keyed by (destination rank, sequence
+  number) instead of posting one ``irecv`` per expected ack — arithmetic
+  instead of request objects, same completion condition;
+* acks that arrive before their send is posted (the other replica pair
+  running ahead) are parked in an early-ack table;
+* duplicate suppression + per-channel in-order release (see
+  :class:`repro.core.replicated.ReplicatedBase`) make failover and recovery
+  hand-offs idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.config import ReplicationConfig
+from repro.core.interpose import SendHandle, RecvHandle
+from repro.core.membership import MembershipService
+from repro.core.replicated import ReplicatedBase
+from repro.core.worlds import ReplicaMap
+from repro.mpi.datatypes import copy_payload, nbytes_of
+from repro.mpi.pml import Envelope, Pml, PmlRecvRequest
+from repro.sim.sync import Timeout
+
+__all__ = ["SdrProtocol", "SdrSendHandle"]
+
+#: ctrl key for acknowledgement frames
+ACK = "sdr.ack"
+#: ctrl key for recovery notifications (§3.4)
+RECOVERED = "sdr.recovered"
+
+
+class SdrSendHandle(SendHandle):
+    """Send handle retaining what a substitute resend needs."""
+
+    __slots__ = ("ctx", "src_rank", "tag")
+
+    def __init__(self, world_dst: int, seq: int, ctx: Any, src_rank: int, tag: int, payload: Any) -> None:
+        super().__init__([], world_dst, seq, payload=payload, nbytes=nbytes_of(payload))
+        self.ctx = ctx
+        self.src_rank = src_rank
+        self.tag = tag
+
+
+class SdrProtocol(ReplicatedBase):
+    """Per-physical-process SDR-MPI state machine."""
+
+    name = "sdr"
+
+    def __init__(
+        self,
+        pml: Pml,
+        rmap: ReplicaMap,
+        membership: MembershipService,
+        cfg: ReplicationConfig,
+    ) -> None:
+        super().__init__(pml, rmap, membership, cfg)
+        #: physicalDests_p[rank]: replicas of `rank` I send application
+        #: messages to (Algorithm 1 line 1); lazily defaulted to my pair.
+        self.physical_dests: Dict[int, List[int]] = {}
+        #: physicalSrc_p[rank] (line 2) — informational under logical-rank
+        #: matching, kept for introspection and tests.
+        self.physical_src: Dict[int, int] = {}
+        #: substitute_p[rep] (line 3): who sends on behalf of each replica
+        #: of MY rank.
+        self.substitute: Dict[int, int] = {rep: rep for rep in range(rmap.degree)}
+        #: messages awaiting acks: (world_dst, seq) -> handle
+        self.retention: Dict[Tuple[int, int], SdrSendHandle] = {}
+        #: acks that arrived before their send was posted
+        self._early_acks: Dict[Tuple[int, int], Set[int]] = {}
+        #: ranks with a respawn pending that I may have to perform
+        self._pending_recovery: List[int] = []
+        #: recovery manager callback (installed by the harness when enabled)
+        self.recovery_hook = None
+        # metrics
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.resends = 0
+        self.failovers_handled = 0
+        pml.ctrl_handlers[ACK] = self._on_ack
+        pml.ctrl_handlers[RECOVERED] = self._on_recovered
+        pml.on_recv_complete.append(self._ack_on_recv_complete)
+
+    # ----------------------------------------------------------- destinations
+    def _default_dests(self, world_dst: int) -> List[int]:
+        pair = self.rmap.phys(world_dst, self.rep)
+        return [pair] if self.membership.is_alive(pair) else []
+
+    def dests_for(self, world_dst: int) -> List[int]:
+        dests = self.physical_dests.get(world_dst)
+        if dests is None:
+            dests = self._default_dests(world_dst)
+            self.physical_dests[world_dst] = dests
+        return dests
+
+    # ------------------------------------------------------------------ send
+    def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator[Any, Any, SdrSendHandle]:
+        self.app_sends += 1
+        seq = self.next_seq(world_dst)
+        payload = copy_payload(data)
+        handle = SdrSendHandle(world_dst, seq, ctx, src_rank, tag, payload)
+        # Algorithm 1 lines 5-9, in replica-index order: transmit to my
+        # physicalDests, post an expected-ack receive for every other alive
+        # replica of the destination rank.  Posting the ack receive costs
+        # CPU (request management) — a real, measurable part of the
+        # protocol's small-message overhead.
+        dests = set(self.dests_for(world_dst))
+        for rep in range(self.rmap.degree):
+            ph = self.rmap.phys(world_dst, rep)
+            if ph in dests:
+                if not self.membership.is_alive(ph):
+                    continue
+                req = yield from self.pml.isend(
+                    ctx=ctx,
+                    src_rank=src_rank,
+                    tag=tag,
+                    data=payload,
+                    world_src=self.rank,
+                    world_dst=world_dst,
+                    seq=seq,
+                    dst_phys=ph,
+                    already_copied=True,
+                    synchronous=synchronous,
+                )
+                handle.pml_reqs.append(req)
+            elif self.membership.is_alive(ph):
+                handle.needs_ack.add(ph)
+                if self.cfg.ack_post_overhead > 0:
+                    yield Timeout(self.pml.sim, self.cfg.ack_post_overhead)
+        early = self._early_acks.pop((world_dst, seq), None)
+        if early:
+            handle.needs_ack -= early
+        if handle.needs_ack:
+            self.retention[(world_dst, seq)] = handle
+        return handle
+
+    # ------------------------------------------------------------------ recv
+    def app_irecv(self, ctx, source, tag, buf=None) -> Generator[Any, Any, RecvHandle]:
+        self.app_recvs += 1
+        req = yield from self.pml.irecv(ctx=ctx, source=source, tag=tag, buf=buf)
+        return RecvHandle(req)
+
+    # ------------------------------------------------------------------ acks
+    def _ack_on_recv_complete(self, env: Envelope, recv: Optional[PmlRecvRequest]) -> Generator:
+        """Algorithm 1 lines 15-17: on irecvComplete, ack the other senders."""
+        sender_rep = self.rmap.rep_of(env.src_phys)
+        yield from self._send_acks(env.world_src, sender_rep, env.seq)
+
+    def _send_acks(self, src_rank: int, sender_rep: int, seq: int) -> Generator:
+        for rep in range(self.rmap.degree):
+            if rep == sender_rep:
+                continue
+            ph = self.rmap.phys(src_rank, rep)
+            if self.membership.is_alive(ph):
+                self.acks_sent += 1
+                yield from self.pml.send_ctrl(
+                    ph, ACK, (self.rank, seq), nbytes=self.cfg.ack_bytes
+                )
+
+    def _on_duplicate(self, env: Envelope) -> Generator:
+        # Re-ack so a substitute that resent (its ack was in flight at
+        # failover time) can still clear its retention.
+        yield from super()._on_duplicate(env)
+        yield from self._send_acks(env.world_src, self.rmap.rep_of(env.src_phys), env.seq)
+
+    def _on_ack(self, env: Envelope) -> Generator:
+        world_dst, seq = env.data
+        self.acks_received += 1
+        if self.cfg.ack_handle_overhead > 0:
+            yield Timeout(self.pml.sim, self.cfg.ack_handle_overhead)
+        handle = self.retention.get((world_dst, seq))
+        if handle is not None:
+            handle.needs_ack.discard(env.src_phys)
+            if not handle.needs_ack:
+                del self.retention[(world_dst, seq)]
+        elif seq >= self._send_seq.get(world_dst, 0):
+            # The other replica pair ran ahead: park the ack.
+            self._early_acks.setdefault((world_dst, seq), set()).add(env.src_phys)
+        # else: late ack for a fully-acked message (after a re-ack) — drop.
+        yield from ()
+
+    # -------------------------------------------------------------- failures
+    def on_failure(self, failed: int) -> Generator:
+        """Algorithm 1 lines 18-35."""
+        rank_f = self.rmap.rank_of(failed)
+        rep_f = self.rmap.rep_of(failed)
+        self.failovers_handled += 1
+        sub = self.membership.substitute_rep(rank_f)  # line 19
+        if sub is None:
+            # All replicas of rank_f are gone; the application is lost.
+            # The harness surfaces this; nothing a protocol can do (§1:
+            # this is when you fall back to checkpoint restart).
+            return
+        if self.rank == rank_f:
+            covered = [l for l, s in self.substitute.items() if s == rep_f]
+            if sub == self.rep:
+                # Lines 21-25: I am the substitute — adopt the bereaved
+                # receivers and resend whatever they are missing.
+                for l in covered:
+                    for j in range(self.rmap.n_ranks):
+                        ph = self.rmap.phys(j, l)
+                        if ph == self.pml.proc or not self.membership.is_alive(ph):
+                            continue
+                        dests = self.dests_for(j)
+                        if ph not in dests:
+                            dests.append(ph)
+                    for (j, seq), handle in list(self.retention.items()):
+                        ph = self.rmap.phys(j, l)
+                        if ph in handle.needs_ack and self.membership.is_alive(ph):
+                            handle.needs_ack.discard(ph)
+                            self.resends += 1
+                            req = yield from self.pml.isend(
+                                ctx=handle.ctx,
+                                src_rank=handle.src_rank,
+                                tag=handle.tag,
+                                data=handle.payload,
+                                world_src=self.rank,
+                                world_dst=j,
+                                seq=seq,
+                                dst_phys=ph,
+                                already_copied=True,
+                            )
+                            handle.pml_reqs.append(req)
+                            if not handle.needs_ack:
+                                del self.retention[(j, seq)]
+            # Lines 26-27: whoever was covered by the failed replica is now
+            # covered by the substitute (every replica of rank_f tracks this).
+            for l in covered:
+                self.substitute[l] = sub
+        else:
+            # Lines 28-35: a replica of another rank.
+            if self.physical_src.get(rank_f, self.rmap.phys(rank_f, self.rep)) == failed:
+                self.physical_src[rank_f] = self.rmap.phys(rank_f, sub)  # line 30
+            dests = self.dests_for(rank_f)
+            if failed in dests:
+                dests.remove(failed)  # stop sending to the dead replica (Fig. 3)
+            self.pml.cancel_sends_to(failed)  # line 32
+            # Line 33: cancel ack expectations from the dead process.
+            for (j, seq), handle in list(self.retention.items()):
+                if failed in handle.needs_ack:
+                    handle.needs_ack.discard(failed)
+                    if not handle.needs_ack:
+                        del self.retention[(j, seq)]
+            # Lines 34-35 (retargeting posted receives) are implicit:
+            # matching is keyed on logical ranks, so the substitute's
+            # messages match the already-posted receive requests.
+
+    # -------------------------------------------------------------- recovery
+    def recovery_point(self) -> Generator:
+        """Application-declared safe point for a pending respawn (§3.4).
+
+        The harness's :class:`~repro.core.recovery.RecoveryManager` installs
+        ``recovery_hook``; if this process is the substitute for a rank with
+        a pending respawn, the fork + notification broadcast happen here.
+        """
+        if self.recovery_hook is not None:
+            yield from self.recovery_hook(self)
+        else:
+            yield from ()
+
+    def broadcast_recovery(self, new_proc: int, rep_f: int) -> Generator:
+        """Substitute side of §3.4: notify every alive process over the
+        regular FIFO channels, then stop sending on the dead replica's
+        behalf (its duties move to the respawned process)."""
+        for p, ep in self.pml.fabric.endpoints.items():
+            if p != self.pml.proc and ep.alive:
+                yield from self.pml.send_ctrl(p, RECOVERED, (self.rank, new_proc, rep_f))
+        self.substitute[rep_f] = rep_f
+        for j in range(self.rmap.n_ranks):
+            dests = self.physical_dests.get(j)
+            ph = self.rmap.phys(j, rep_f)
+            if dests and ph in dests and ph != self.rmap.phys(j, self.rep):
+                dests.remove(ph)
+
+    def _on_recovered(self, env: Envelope) -> Generator:
+        """Peer side of §3.4: resume the pairwise pattern toward the new
+        replica and replay everything the substitute has not acked."""
+        rank_f, new_proc, rep_f = env.data
+        if self.rank == rank_f:
+            self.substitute[rep_f] = rep_f
+            return
+        self.physical_src[rank_f] = self.rmap.phys(rank_f, self.rep)
+        dests = self.dests_for(rank_f)
+        if self.rep == rep_f and new_proc not in dests:
+            dests.append(new_proc)
+        # Messages to rank_f not yet acked by the substitute existed before
+        # the fork (FIFO channels order the sub's acks against its
+        # notification), so the new replica's cloned state lacks them.
+        if self.rep == rep_f:
+            sub_phys = env.src_phys  # the notification sender IS the substitute
+            for (j, seq), handle in list(self.retention.items()):
+                if j != rank_f:
+                    continue
+                if sub_phys in handle.needs_ack:
+                    # Not yet acked by the substitute at notification time
+                    # (FIFO: the sub's acks for anything it received before
+                    # the fork arrive before this notification), so the
+                    # clone is missing it: transmit directly.
+                    self.resends += 1
+                    req = yield from self.pml.isend(
+                        ctx=handle.ctx,
+                        src_rank=handle.src_rank,
+                        tag=handle.tag,
+                        data=handle.payload,
+                        world_src=self.rank,
+                        world_dst=j,
+                        seq=seq,
+                        dst_phys=new_proc,
+                        already_copied=True,
+                    )
+                    handle.pml_reqs.append(req)
+                # Either way the new replica owes us no ack: we have now
+                # transmitted to it ourselves, or its cloned state already
+                # contains the message (receivers never ack the physical
+                # process they got the message from).
+                handle.needs_ack.discard(new_proc)
+                if not handle.needs_ack:
+                    del self.retention[(j, seq)]
+
+    def substitute_of(self, rank: int, rep: int) -> int:
+        """Current substitute replica index for (rank, rep) as seen here."""
+        if rank == self.rank:
+            return self.substitute[rep]
+        sub = self.membership.substitute_rep(rank)
+        return rep if sub is None else sub
+
+    # ----------------------------------------------------------------- state
+    def clone_state_for_respawn(self) -> dict:
+        """Protocol state a forked replica inherits from the substitute."""
+        return {
+            "expected": dict(self._expected),
+            "send_seq": dict(self._send_seq),
+            "retention": {
+                key: (h.ctx, h.src_rank, h.tag, h.payload, set(h.needs_ack))
+                for key, h in self.retention.items()
+            },
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Install forked state on a freshly respawned replica."""
+        self._expected = dict(state["expected"])
+        self._send_seq = dict(state["send_seq"])
+        for (j, seq), (ctx, src_rank, tag, payload, needs) in state["retention"].items():
+            handle = SdrSendHandle(j, seq, ctx, src_rank, tag, payload)
+            handle.needs_ack = set(needs)
+            self.retention[(j, seq)] = handle
+
+    def stats(self) -> dict:
+        base = super().stats()
+        base.update(
+            acks_sent=self.acks_sent,
+            acks_received=self.acks_received,
+            resends=self.resends,
+            retained=len(self.retention),
+            failovers_handled=self.failovers_handled,
+        )
+        return base

@@ -1,0 +1,6 @@
+"""Experiment harness: job launcher, fault schedules, metrics, reports."""
+
+from repro.harness.runner import Job, JobResult, cluster_for
+from repro.harness.faults import CrashSchedule, CrashSpec
+
+__all__ = ["CrashSchedule", "CrashSpec", "Job", "JobResult", "cluster_for"]

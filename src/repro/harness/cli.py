@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Examples::
+
+    sdr-mpi fig7                     # Fig. 7a/7b latency + throughput sweep
+    sdr-mpi table1                   # all five NAS rows
+    sdr-mpi table1 --app CG          # one row
+    sdr-mpi table2                   # HPCCG + CM1
+    sdr-mpi determinism --app hpccg  # send-determinism check
+    REPRO_SCALE=paper sdr-mpi table1 # the paper's exact configuration
+
+(Also runnable as ``python -m repro <command>``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.report import (
+    PAPER_FIG7_POINTS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    overhead_row,
+    render_series,
+    render_table,
+)
+
+_OVH_HEADER = ["app", "native s", "repl s", "ovh %", "paper nat", "paper repl", "paper ovh%"]
+
+
+def _cmd_fig7(args) -> int:
+    from repro.apps.netpipe import DEFAULT_SIZES, netpipe_sweep
+
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_SIZES
+    native = netpipe_sweep("native", sizes=sizes, iters=args.iters)
+    sdr = netpipe_sweep(args.protocol, sizes=sizes, iters=args.iters)
+    lat_n = {s: native[s]["latency_s"] * 1e6 for s in sizes}
+    lat_s = {s: sdr[s]["latency_s"] * 1e6 for s in sizes}
+    dec = {s: 100 * (lat_s[s] / lat_n[s] - 1) for s in sizes}
+    print(render_series("Fig. 7a — latency (us)", "bytes",
+                        {"native": lat_n, args.protocol: lat_s, "decrease%": dec}))
+    tp_n = {s: native[s]["throughput_mbps"] for s in sizes}
+    tp_s = {s: sdr[s]["throughput_mbps"] for s in sizes}
+    print()
+    print(render_series("Fig. 7b — throughput (Mbps)", "bytes",
+                        {"native": tp_n, args.protocol: tp_s}, fmt="{:.4g}"))
+    print(f"\npaper 1-byte anchors: native {PAPER_FIG7_POINTS['native_1B_us']} us, "
+          f"SDR-MPI {PAPER_FIG7_POINTS['sdr_1B_us']} us")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.harness.experiments import current_scale, nas_overhead
+
+    scale = current_scale()
+    apps = [args.app] if args.app else ["BT", "CG", "FT", "MG", "SP"]
+    rows = []
+    for app in apps:
+        r = nas_overhead(app, scale, protocol=args.protocol)
+        rows.append(overhead_row(app, r["native_s"], r["replicated_s"], PAPER_TABLE1[app]))
+        print(f"  ... {app} done", file=sys.stderr)
+    print(render_table(
+        f"Table 1 — NAS benchmarks ({scale.name}: class {scale.nas_class}, "
+        f"{scale.n_ranks} ranks, protocol={args.protocol}, r=2)",
+        _OVH_HEADER, rows))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.harness.experiments import app_overhead, current_scale
+
+    scale = current_scale()
+    apps = [args.app] if args.app else ["HPCCG", "CM1"]
+    rows = []
+    for app in apps:
+        r = app_overhead(app, scale, protocol=args.protocol)
+        rows.append(overhead_row(app, r["native_s"], r["replicated_s"], PAPER_TABLE2[app]))
+        print(f"  ... {app} done", file=sys.stderr)
+    print(render_table(
+        f"Table 2 — ANY_SOURCE applications ({scale.name}, {scale.n_ranks} ranks, "
+        f"protocol={args.protocol}, r=2)",
+        _OVH_HEADER, rows))
+    return 0
+
+
+def _cmd_determinism(args) -> int:
+    from repro.apps.cm1 import cm1_rank
+    from repro.apps.hpccg import hpccg_rank
+    from repro.apps.nas import NAS_APPS
+    from repro.apps.patterns import master_worker
+    from repro.trace.determinism import check_send_determinism
+
+    registry = {
+        "hpccg": (hpccg_rank, dict(nx=8, ny=8, nz=8, iters=3)),
+        "cm1": (cm1_rank, dict(n=16, steps=2)),
+        "master_worker": (master_worker, dict(tasks=9)),
+        **{name.lower(): (fn, dict(klass="S", iters=2)) for name, fn in NAS_APPS.items()},
+    }
+    if args.app not in registry:
+        print(f"unknown app {args.app!r}; have {sorted(registry)}", file=sys.stderr)
+        return 2
+    fn, kwargs = registry[args.app]
+    report = check_send_determinism(fn, args.ranks, replays=args.replays, **kwargs)
+    verdict = "send-deterministic" if report else "NOT send-deterministic"
+    print(f"{args.app}: {verdict} over {report.replays} perturbed replays")
+    for proc, idx, base, other in report.divergences[:5]:
+        print(f"  divergence at proc {proc}, send #{idx}: {base} vs {other}")
+    return 0 if report or args.app == "master_worker" else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="sdr-mpi", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig7", help="NetPipe latency/throughput sweep (Fig. 7)")
+    p.add_argument("--protocol", default="sdr", choices=["sdr", "mirror", "leader", "redmpi"])
+    p.add_argument("--iters", type=int, default=10)
+    p.add_argument("--sizes", type=int, nargs="*")
+    p.set_defaults(fn=_cmd_fig7)
+
+    p = sub.add_parser("table1", help="NAS benchmark overheads (Table 1)")
+    p.add_argument("--app", choices=["BT", "CG", "FT", "MG", "SP"])
+    p.add_argument("--protocol", default="sdr", choices=["sdr", "mirror", "leader", "redmpi"])
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("table2", help="HPCCG + CM1 overheads (Table 2)")
+    p.add_argument("--app", choices=["HPCCG", "CM1"])
+    p.add_argument("--protocol", default="sdr", choices=["sdr", "mirror", "leader", "redmpi"])
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("determinism", help="send-determinism check (Definition 1)")
+    p.add_argument("--app", default="hpccg")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--replays", type=int, default=4)
+    p.set_defaults(fn=_cmd_determinism)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

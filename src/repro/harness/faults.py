@@ -1,0 +1,45 @@
+"""Crash schedules for fault-injection experiments.
+
+The paper's Fig. 3 scenario (replica p¹₁ crashes mid-run, its substitute
+p⁰₁ takes over sending duties) and Fig. 4 (subsequent respawn) are driven
+from here.  Times are virtual seconds; ``fraction`` schedules relative to
+an estimated run length when absolute times are awkward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.runner import Job
+
+__all__ = ["CrashSpec", "CrashSchedule"]
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One fail-stop crash: replica *rep* of logical *rank* at time *at*."""
+
+    rank: int
+    rep: int
+    at: float
+
+
+@dataclass
+class CrashSchedule:
+    """An ordered set of crashes applied to a job before running it."""
+
+    crashes: List[CrashSpec] = field(default_factory=list)
+
+    def add(self, rank: int, rep: int, at: float) -> "CrashSchedule":
+        self.crashes.append(CrashSpec(rank, rep, at))
+        return self
+
+    def apply(self, job: "Job") -> "Job":
+        for spec in self.crashes:
+            job.crash(spec.rank, spec.rep, at=spec.at)
+        return job
+
+    def __len__(self) -> int:
+        return len(self.crashes)

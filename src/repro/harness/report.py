@@ -1,0 +1,79 @@
+"""Paper-style rendering of experiment outputs.
+
+Every benchmark prints the same rows/series the paper reports, side by
+side with the paper's numbers, so a bench log double-checks the shape
+claims at a glance (and feeds EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "overhead_row", "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_FIG7_POINTS"]
+
+#: Table 1 of the paper (class D, 256 procs, r=2)
+PAPER_TABLE1: Dict[str, Tuple[float, float, float]] = {
+    # app: (native s, replicated s, overhead %)
+    "BT": (267.24, 271.21, 1.49),
+    "CG": (210.37, 220.71, 4.92),
+    "FT": (130.61, 134.58, 3.04),
+    "MG": (35.14, 36.04, 2.56),
+    "SP": (418.62, 428.70, 2.41),
+}
+
+#: Table 2 of the paper (256 procs, r=2)
+PAPER_TABLE2: Dict[str, Tuple[float, float, float]] = {
+    "HPCCG": (91.13, 91.29, 0.002),
+    "CM1": (210.21, 216.80, 3.14),
+}
+
+#: Fig. 7 anchor points quoted in the text (1-byte latency, µs)
+PAPER_FIG7_POINTS = {"native_1B_us": 1.67, "sdr_1B_us": 2.37}
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in cells)) if cells else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def overhead_row(
+    name: str,
+    native_s: float,
+    replicated_s: float,
+    paper: Optional[Tuple[float, float, float]] = None,
+) -> List[object]:
+    """One Table 1/2-shaped row: measured plus the paper's reference."""
+    ovh = (replicated_s / native_s - 1.0) * 100.0
+    row: List[object] = [name, f"{native_s:.2f}", f"{replicated_s:.2f}", f"{ovh:.2f}"]
+    if paper is not None:
+        row += [f"{paper[0]:.2f}", f"{paper[1]:.2f}", f"{paper[2]:.2f}"]
+    return row
+
+
+def render_series(
+    title: str,
+    xlabel: str,
+    series: Mapping[str, Mapping[int, float]],
+    fmt: str = "{:.3g}",
+) -> str:
+    """Column-per-series rendering of Fig.-7-like sweeps."""
+    xs = sorted({x for s in series.values() for x in s})
+    header = [xlabel] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [fmt.format(series[name].get(x, float("nan"))) for name in series])
+    return render_table(title, header, rows)

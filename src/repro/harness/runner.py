@@ -1,0 +1,280 @@
+"""Job launcher: build a simulated cluster, wire protocols, run to completion.
+
+A :class:`Job` assembles the full stack for every physical process::
+
+    app generator  ->  MpiProcess (OMPI)  ->  protocol (vProtocol layer)
+                   ->  Pml (ob1)          ->  Fabric (BTL/wire)
+
+Native jobs run ``n`` processes with the identity protocol; replicated jobs
+run ``degree·n`` processes with the paper's placement (replica sets on
+disjoint node halves, §4.2) and the selected replication protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.baselines import LeaderProtocol, MirrorProtocol, RedMpiProtocol
+from repro.core.config import ReplicationConfig
+from repro.core.interpose import NativeProtocol
+from repro.core.io import NativeIo, ReplicatedIo, VirtualFileSystem
+from repro.core.membership import MembershipService
+from repro.core.sdr import SdrProtocol
+from repro.core.worlds import ReplicaMap
+from repro.mpi.api import MpiProcess
+from repro.mpi.errors import DeadlockError, MpiError
+from repro.mpi.pml import Pml
+from repro.network.fabric import Fabric
+from repro.network.topology import (
+    Cluster,
+    Placement,
+    round_robin_placement,
+    split_halves_placement,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.sync import AnyOf, Event
+
+__all__ = ["Job", "JobResult", "cluster_for"]
+
+_PROTOCOL_CLASSES = {
+    "sdr": SdrProtocol,
+    "mirror": MirrorProtocol,
+    "leader": LeaderProtocol,
+    "redmpi": RedMpiProtocol,
+}
+
+
+def cluster_for(n_ranks: int, degree: int = 1, cores_per_node: int = 8, **kwargs) -> Cluster:
+    """Smallest paper-shaped cluster that fits n_ranks × degree processes."""
+    nodes_per_set = max(1, math.ceil(n_ranks / cores_per_node))
+    return Cluster(nodes=nodes_per_set * max(1, degree), cores_per_node=cores_per_node, **kwargs)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated execution."""
+
+    #: virtual wall-clock: latest application finish time (seconds)
+    runtime: float
+    #: per physical process finish time
+    finish_times: Dict[int, float]
+    #: per physical process application return value
+    app_results: Dict[int, Any]
+    #: per physical process protocol statistics
+    stats: Dict[int, dict]
+    #: fabric totals (frame/byte counts, per-kind histogram)
+    fabric: dict
+    #: kernel events dispatched (simulation effort metric)
+    events: int
+    #: ranks that lost every replica (empty on success)
+    lost_ranks: List[int] = field(default_factory=list)
+
+    def stat_total(self, key: str) -> int:
+        return sum(s.get(key, 0) for s in self.stats.values())
+
+
+class Job:
+    """One simulated MPI execution (native or replicated)."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cfg: Optional[ReplicationConfig] = None,
+        cluster: Optional[Cluster] = None,
+        seed: int = 0,
+        jitter: Optional[Callable[[], float]] = None,
+        recorder_factory: Optional[Callable[[int, int], Any]] = None,
+    ) -> None:
+        self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
+        self.n_ranks = n_ranks
+        self.rmap = ReplicaMap(n_ranks, self.cfg.degree)
+        self.cluster = cluster or cluster_for(n_ranks, self.cfg.degree)
+        if self.cfg.degree > 1:
+            self.placement: Placement = split_halves_placement(
+                self.cluster, n_ranks, self.cfg.degree
+            )
+        else:
+            self.placement = round_robin_placement(self.cluster, n_ranks)
+        self.placement.validate()
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.fabric = Fabric(self.sim, self.placement, jitter=jitter)
+        self.membership = MembershipService(
+            self.sim, self.fabric, self.rmap, detection_delay=self.cfg.detection_delay
+        )
+        self.vfs = VirtualFileSystem(self.sim)
+        self.pmls: Dict[int, Pml] = {}
+        self.protocols: Dict[int, Any] = {}
+        self.mpis: Dict[int, MpiProcess] = {}
+        self.processes: Dict[int, Process] = {}
+        self.finish_times: Dict[int, float] = {}
+        self.app_results: Dict[int, Any] = {}
+        self._recorder_factory = recorder_factory
+        self._app_factory: Optional[Callable] = None
+        self._app_kwargs: dict = {}
+        self._app_all_done = False
+        self._drain_waiters: List[Any] = []
+        # Partial replication: replicas of unreplicated ranks simply do not
+        # exist.  Mark their slots dead *before* protocols initialize, then
+        # replay Algorithm 1's failure handling synchronously so replica-0
+        # processes adopt the bereaved destinations from the start (an
+        # absent replica is a replica that failed before t=0).
+        self.absent: set = set()
+        if self.cfg.replicated_ranks is not None:
+            for rank in range(n_ranks):
+                if not self.cfg.rank_is_replicated(rank):
+                    for rep in range(1, self.cfg.degree):
+                        proc = self.rmap.phys(rank, rep)
+                        self.absent.add(proc)
+                        self.fabric.endpoints[proc].alive = False
+        for proc in range(self.rmap.n_procs):
+            self._build_stack(proc)
+        for absent_proc in sorted(self.absent):
+            for proc, proto in self.protocols.items():
+                if proc in self.absent:
+                    continue
+                handler = getattr(proto, "on_failure", None)
+                if handler is not None:
+                    for _ in handler(absent_proc):  # pragma: no cover - no yields at init
+                        pass
+
+    # ------------------------------------------------------------- plumbing
+    def _build_stack(self, proc: int) -> None:
+        pml = Pml(self.sim, self.fabric, proc)
+        if self.cfg.protocol == "native":
+            protocol = NativeProtocol(pml, world_rank=proc)
+        else:
+            protocol = _PROTOCOL_CLASSES[self.cfg.protocol](
+                pml, self.rmap, self.membership, self.cfg
+            )
+        rank = self.rmap.rank_of(proc)
+        mpi = MpiProcess(self.sim, pml, protocol, world_rank=rank, world_size=self.n_ranks)
+        if self.cluster.compute_noise > 0:
+            # Stream keyed by (rank, replica): replica 0 sees the same noise
+            # as the native run's rank, replica 1 sees independent noise —
+            # the timing divergence the ack protocol has to absorb.
+            rep = self.rmap.rep_of(proc)
+            stream = self.rng.stream(f"noise.r{rank}.k{rep}")
+            mpi.noise = (stream, self.cluster.compute_noise)
+        if self.cfg.protocol == "native":
+            mpi.io = NativeIo(self.vfs, rank)
+        else:
+            mpi.io = ReplicatedIo(self.vfs, protocol)
+        if self._recorder_factory is not None:
+            mpi.recorder = self._recorder_factory(proc, rank)
+        self.pmls[proc] = pml
+        self.protocols[proc] = protocol
+        self.mpis[proc] = mpi
+
+    def _start_process(self, proc: int, gen) -> None:
+        rank, rep = self.rmap.pair(proc)
+        name = f"p{rep}_{rank}" if self.cfg.degree > 1 else f"p{rank}"
+
+        def body(gen=gen, proc=proc):
+            result = yield from gen
+            self.finish_times[proc] = self.sim.now
+            self.app_results[proc] = result
+            self._maybe_all_done()
+            # MPI_Finalize semantics: keep progressing protocol traffic
+            # (acks, duplicate rendezvous handshakes, ...) until every live
+            # process has finished its application code.  Without this, a
+            # peer's late cross-replica transfer could wedge forever.
+            pml = self.pmls[proc]
+            while not self._app_all_done:
+                done_ev = Event(self.sim, label=f"finalize({proc})")
+                self._drain_waiters.append(done_ev)
+                yield AnyOf(self.sim, [done_ev, pml.endpoint.wait_for_frame()])
+                yield from pml.drain()
+            return result
+
+        self.processes[proc] = Process(self.sim, body(), name=name, on_exit=lambda p: self._maybe_all_done())
+
+    def _maybe_all_done(self) -> None:
+        if self._app_all_done:
+            return
+        for proc, process in self.processes.items():
+            if process.crashed:
+                continue
+            if proc not in self.finish_times:
+                return
+        self._app_all_done = True
+        for ev in self._drain_waiters:
+            if not ev.triggered:
+                ev.succeed(None)
+        self._drain_waiters.clear()
+
+    # ------------------------------------------------------------------ API
+    def launch(self, app_factory: Callable[..., Any], **kwargs: Any) -> "Job":
+        """Instantiate the application on every physical process.
+
+        ``app_factory(mpi, **kwargs)`` must return the rank's generator.
+        Recoverable applications additionally accept ``state=``.
+        """
+        self._app_factory = app_factory
+        self._app_kwargs = dict(kwargs)
+        for proc in range(self.rmap.n_procs):
+            if proc in self.absent:
+                continue
+            self._start_process(proc, app_factory(self.mpis[proc], **kwargs))
+        return self
+
+    def spawn_replica(self, proc: int, app_state: Any, proto_state: dict) -> None:
+        """Respawn a replica at slot *proc* (recovery fork, §3.4)."""
+        if self._app_factory is None:
+            raise MpiError("cannot respawn before launch()")
+        self._build_stack(proc)
+        protocol = self.protocols[proc]
+        protocol.adopt_state(proto_state)
+        gen = self._app_factory(self.mpis[proc], state=app_state, **self._app_kwargs)
+        self._start_process(proc, gen)
+
+    def crash(self, rank: int, rep: int = 1, at: float = 0.0) -> "Job":
+        """Schedule a fail-stop crash of replica *rep* of *rank* at time *at*."""
+        proc = self.rmap.phys(rank, rep)
+
+        def do_crash() -> None:
+            self.membership.crash(proc)  # wire-level + detector fan-out
+            process = self.processes.get(proc)
+            if process is not None:
+                process.crash()
+
+        self.sim.call_at(at, do_crash)
+        return self
+
+    def run(self, until: Optional[float] = None, allow_lost_ranks: bool = False) -> JobResult:
+        """Run to completion; detects deadlock and lost ranks."""
+        self.sim.run(until=until)
+        lost = sorted(self.membership.lost_ranks)
+        blocked = {
+            p.name: (p._waiting_on.label if p._waiting_on is not None else "<runnable>")
+            for proc, p in self.processes.items()
+            if p.alive and proc not in self.finish_times
+        }
+        for proc, process in self.processes.items():
+            if process.exception is not None:
+                raise process.exception
+        if blocked and until is None:
+            if lost and allow_lost_ranks:
+                pass  # an expected application-fatal failure scenario
+            else:
+                raise DeadlockError(blocked)
+        if lost and not allow_lost_ranks:
+            raise MpiError(f"application lost ranks {lost}: every replica failed")
+        finished = [t for p, t in self.finish_times.items()]
+        return JobResult(
+            runtime=max(finished) if finished else self.sim.now,
+            finish_times=dict(self.finish_times),
+            app_results=dict(self.app_results),
+            stats={p: proto.stats() for p, proto in self.protocols.items()},
+            fabric={
+                "frames": self.fabric.total_frames,
+                "bytes": self.fabric.total_bytes,
+                "by_kind": dict(self.fabric.frames_by_kind),
+            },
+            events=self.sim.events_dispatched,
+            lost_ranks=lost,
+        )

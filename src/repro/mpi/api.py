@@ -1,0 +1,337 @@
+"""The user-facing MPI binding (the "OMPI layer").
+
+Applications receive an :class:`MpiProcess` facade and write ordinary MPI
+programs as generators::
+
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(payload, dest=1, tag=7)
+        elif mpi.rank == 1:
+            data, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=7)
+        x = yield from mpi.allreduce(local, op="sum")
+        yield from mpi.compute(0.5e-3)   # model 0.5 ms of local work
+
+Every communication call is forwarded through the installed *protocol*
+(:mod:`repro.core.interpose`): native passthrough, SDR-MPI, or one of the
+baselines.  The facade itself is protocol-agnostic — this is the paper's
+"implement replication inside the library" layering (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.mpi.collectives import algorithms as coll
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.errors import MpiError
+from repro.mpi.pml import Pml
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.sim.kernel import Simulator
+from repro.sim.sync import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.interpose import BaseProtocol, RecvHandle, SendHandle
+
+__all__ = ["MpiProcess"]
+
+
+class MpiProcess:
+    """Per-physical-process MPI facade bound to a protocol and a world."""
+
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pml: Pml,
+        protocol: "BaseProtocol",
+        world_rank: int,
+        world_size: int,
+    ) -> None:
+        self.sim = sim
+        self.pml = pml
+        self.protocol = protocol
+        self.world_rank = world_rank
+        self.world_size = world_size
+        self.world: Communicator = Communicator(self, ("w",), range(world_size))
+        #: optional event recorder installed by :mod:`repro.trace`
+        self.recorder = None
+        #: set by workloads that support §3.4 recovery (fork/restore)
+        self.app_state = None
+        #: virtual time spent in mpi.compute (diagnostics)
+        self.compute_time = 0.0
+        #: optional (rng, sigma) pair modelling OS noise on compute phases;
+        #: installed by the harness from Cluster.compute_noise
+        self.noise = None
+        #: file-I/O adapter (NativeIo/ReplicatedIo), installed by the harness
+        self.io = None
+
+    # ------------------------------------------------------------ shorthand
+    @property
+    def rank(self) -> int:
+        return self.world.rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def proc(self) -> int:
+        """Physical process id."""
+        return self.pml.proc
+
+    def wtime(self) -> float:
+        return self.sim.now
+
+    def compute(self, seconds: float) -> Generator:
+        """Model *seconds* of pure local computation (MPI makes no progress).
+
+        If the cluster models OS noise, the phase is stretched by a
+        lognormal factor drawn from this process's noise stream.
+        """
+        if seconds < 0:
+            raise ValueError("compute time cannot be negative")
+        if seconds > 0 and self.noise is not None:
+            rng, sigma = self.noise
+            seconds *= float(rng.lognormal(mean=0.0, sigma=sigma))
+        self.compute_time += seconds
+        if seconds > 0:
+            yield Timeout(self.sim, seconds)
+
+    def register_state(self, state: Any) -> None:
+        """Register a snapshot/restore-able state object (recovery support)."""
+        self.app_state = state
+
+    def fwrite(self, path: str, data: Any) -> Generator:
+        """Write to the simulated parallel file system.
+
+        Under replication only the rank's leader replica physically writes
+        (Böhm & Engelmann's redundant-execution I/O, the paper's planned
+        integration — see :mod:`repro.core.io`).
+        """
+        if self.io is None:
+            raise MpiError("file I/O is not wired for this job")
+        yield from self.io.write(path, data)
+
+    def fread(self, path: str) -> Generator:
+        """Read the append-log of *path* from the simulated file system."""
+        if self.io is None:
+            raise MpiError("file I/O is not wired for this job")
+        return (yield from self.io.read(path))
+
+    def recovery_point(self) -> Generator:
+        """Declare a quiescent point where a pending respawn may fork (§3.4).
+
+        A no-op unless the harness installed a recovery hook and this
+        process is the substitute of a rank with a pending respawn.
+        """
+        hook = getattr(self.protocol, "recovery_point", None)
+        if hook is not None:
+            yield from hook()
+
+    # --------------------------------------------------------- nonblocking
+    def isend_on(
+        self, comm: Communicator, ctx: Any, dest: int, tag: int, data: Any,
+        synchronous: bool = False,
+    ) -> Generator[Any, Any, "SendHandle"]:
+        """Protocol-routed send on an explicit matching context."""
+        world_dst = comm.world_of(dest)
+        if self.recorder is not None:
+            self.recorder.record_send(ctx, comm.rank, dest, world_dst, tag, nbytes_of(data))
+        handle = yield from self.protocol.app_isend(
+            ctx=ctx, src_rank=comm.rank, tag=tag, data=data, world_dst=world_dst,
+            synchronous=synchronous,
+        )
+        return handle
+
+    def irecv_on(
+        self, comm: Communicator, ctx: Any, source: int, tag: int, buf: Any = None
+    ) -> Generator[Any, Any, "RecvHandle"]:
+        """Protocol-routed receive on an explicit matching context."""
+        if source != ANY_SOURCE and not (0 <= source < comm.size):
+            raise MpiError(f"receive source {source} outside communicator of size {comm.size}")
+        handle = yield from self.protocol.app_irecv(ctx=ctx, source=source, tag=tag, buf=buf)
+        return handle
+
+    def isend(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        comm = comm or self.world
+        return (yield from self.isend_on(comm, comm.ctx_p2p, dest, tag, data))
+
+    def issend(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        """MPI_Issend: completion additionally implies the receive matched."""
+        comm = comm or self.world
+        return (yield from self.isend_on(comm, comm.ctx_p2p, dest, tag, data, synchronous=True))
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+        buf: Any = None,
+    ) -> Generator:
+        comm = comm or self.world
+        return (yield from self.irecv_on(comm, comm.ctx_p2p, source, tag, buf))
+
+    # ------------------------------------------------------------ completion
+    def wait_handles(self, handles: Sequence[Any]) -> Generator[Any, Any, List[Optional[Status]]]:
+        """Progress until every handle completes (MPI_Waitall core loop).
+
+        While blocked, the PML keeps progressing: incoming messages match,
+        ``irecvComplete`` fires, acks flow — the behaviour §3.3's
+        deadlock-avoidance argument requires.
+        """
+        while True:
+            for h in handles:
+                yield from h.advance()
+            if all(h.done for h in handles):
+                break
+            yield from self.pml.progress_step()
+        return [h.status for h in handles]
+
+    def wait(self, handle: Any) -> Generator[Any, Any, Optional[Status]]:
+        statuses = yield from self.wait_handles([handle])
+        return statuses[0]
+
+    def waitall(self, handles: Sequence[Any]) -> Generator:
+        return (yield from self.wait_handles(handles))
+
+    def waitsome(self, handles: Sequence[Any]) -> Generator[Any, Any, List[Tuple[int, Optional[Status]]]]:
+        """Progress until at least one handle completes; returns every
+        completed (index, status) pair (MPI_Waitsome)."""
+        if not handles:
+            raise MpiError("waitsome requires at least one handle")
+        while True:
+            for h in handles:
+                yield from h.advance()
+            done = [(i, h.status) for i, h in enumerate(handles) if h.done]
+            if done:
+                return done
+            yield from self.pml.progress_step()
+
+    def waitany(self, handles: Sequence[Any]) -> Generator[Any, Any, Tuple[int, Optional[Status]]]:
+        """Progress until *some* handle completes; returns (index, status).
+
+        The winning index depends on message timing — a non-deterministic
+        outcome that send-deterministic applications may observe internally
+        without externally visible divergence (§2.2).
+        """
+        if not handles:
+            raise MpiError("waitany requires at least one handle")
+        while True:
+            for i, h in enumerate(handles):
+                yield from h.advance()
+                if h.done:
+                    return i, h.status
+            yield from self.pml.progress_step()
+
+    def test(self, handle: Any) -> Generator[Any, Any, bool]:
+        """Nonblocking completion check (MPI_Test): drain, never block."""
+        yield from self.pml.drain()
+        yield from handle.advance()
+        return handle.done
+
+    def testall(self, handles: Sequence[Any]) -> Generator[Any, Any, bool]:
+        yield from self.pml.drain()
+        for h in handles:
+            yield from h.advance()
+        return all(h.done for h in handles)
+
+    # --------------------------------------------------------------- blocking
+    def send(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        handle = yield from self.isend(data, dest, tag, comm)
+        yield from self.wait(handle)
+
+    def ssend(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        """MPI_Ssend: returns only after the matching receive was posted."""
+        handle = yield from self.issend(data, dest, tag, comm)
+        yield from self.wait(handle)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+        buf: Any = None,
+    ) -> Generator[Any, Any, Tuple[Any, Status]]:
+        handle = yield from self.irecv(source, tag, comm, buf)
+        status = yield from self.wait(handle)
+        return handle.data, status
+
+    def sendrecv(
+        self,
+        senddata: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, Tuple[Any, Status]]:
+        comm = comm or self.world
+        rhandle = yield from self.irecv(source, recvtag, comm)
+        shandle = yield from self.isend(senddata, dest, sendtag, comm)
+        yield from self.wait_handles([shandle, rhandle])
+        return rhandle.data, rhandle.status
+
+    # ----------------------------------------------------------------- probe
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, Optional[Status]]:
+        comm = comm or self.world
+        yield from self.pml.drain()
+        env = self.pml.matching.probe(comm.ctx_p2p, source, tag)
+        if env is None:
+            return None
+        return Status(source=env.src_rank, tag=env.tag, nbytes=env.nbytes)
+
+    def probe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, Status]:
+        comm = comm or self.world
+        while True:
+            st = yield from self.iprobe(source, tag, comm)
+            if st is not None:
+                return st
+            yield from self.pml.progress_step()
+
+    # ------------------------------------------------------------ collectives
+    def barrier(self, comm: Optional[Communicator] = None) -> Generator:
+        yield from coll.barrier(self, comm or self.world)
+
+    def bcast(self, data: Any, root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.bcast(self, comm or self.world, data, root))
+
+    def reduce(self, data: Any, op: str = "sum", root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.reduce(self, comm or self.world, data, op, root))
+
+    def allreduce(self, data: Any, op: str = "sum", comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.allreduce(self, comm or self.world, data, op))
+
+    def gather(self, data: Any, root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.gather(self, comm or self.world, data, root))
+
+    def scatter(self, chunks: Optional[List[Any]], root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.scatter(self, comm or self.world, chunks, root))
+
+    def allgather(self, data: Any, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.allgather(self, comm or self.world, data))
+
+    def alltoall(self, chunks: List[Any], comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.alltoall(self, comm or self.world, chunks))
+
+    def reduce_scatter(self, chunks: List[Any], op: str = "sum", comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.reduce_scatter_block(self, comm or self.world, chunks, op))
+
+    def scan(self, data: Any, op: str = "sum", comm: Optional[Communicator] = None) -> Generator:
+        return (yield from coll.scan(self, comm or self.world, data, op))
+
+    # ---------------------------------------------------------- communicators
+    def comm_dup(self, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from (comm or self.world).dup())
+
+    def comm_split(self, color: int, key: int = 0, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from (comm or self.world).split(color, key))
+
+    def comm_create(self, group, comm: Optional[Communicator] = None) -> Generator:
+        return (yield from (comm or self.world).create(group))

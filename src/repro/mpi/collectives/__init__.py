@@ -1,0 +1,35 @@
+"""Collective operations built strictly on PML point-to-point calls.
+
+This mirrors the paper's assumption ("collective operations are implemented
+on top of the point-to-point functions", §2.2, valid for Open MPI/MPICH2
+without hardware collectives) — which is exactly why SDR-MPI supports all
+collectives with zero extra code: every constituent p2p message flows
+through the interposed protocol layer and is replicated/acked like any
+application message.
+"""
+
+from repro.mpi.collectives.algorithms import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter_block,
+    scan,
+    scatter,
+)
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "reduce_scatter_block",
+    "scan",
+    "scatter",
+]

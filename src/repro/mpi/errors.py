@@ -1,0 +1,30 @@
+"""MPI-level exception types."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "TruncationError", "RankError", "DeadlockError"]
+
+
+class MpiError(RuntimeError):
+    """Base class for errors raised by the simulated MPI library."""
+
+
+class TruncationError(MpiError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class RankError(MpiError):
+    """A rank argument is outside the communicator."""
+
+
+class DeadlockError(MpiError):
+    """The simulation ran out of events while processes were still blocked.
+
+    Carries a per-process description of what each blocked process was
+    waiting for, which makes the §3.3 deadlock scenario test legible.
+    """
+
+    def __init__(self, blocked: dict) -> None:
+        lines = "\n".join(f"  {name}: {what}" for name, what in sorted(blocked.items()))
+        super().__init__(f"deadlock: all events drained with processes blocked:\n{lines}")
+        self.blocked = blocked

@@ -1,0 +1,102 @@
+"""MPI group operations.
+
+A group is an ordered set of *world-logical* ranks.  All set operations
+follow the MPI standard's ordering rules: ``union`` keeps the first group's
+order then appends new members in the second group's order; ``intersection``
+and ``difference`` keep the first group's order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.mpi.errors import RankError
+
+__all__ = ["Group", "UNDEFINED"]
+
+#: MPI_UNDEFINED analogue for translate_ranks misses
+UNDEFINED: int = -32766
+
+
+class Group:
+    """An immutable ordered set of world ranks."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: Iterable[int]) -> None:
+        mem = tuple(int(m) for m in members)
+        if len(set(mem)) != len(mem):
+            raise RankError(f"group has duplicate members: {mem}")
+        self.members = mem
+
+    # ------------------------------------------------------------- queries
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def rank_of(self, world_rank: int) -> Optional[int]:
+        """This group's rank of a world rank, or None if absent."""
+        try:
+            return self.members.index(world_rank)
+        except ValueError:
+            return None
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self.members
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and other.members == self.members
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
+    def __repr__(self) -> str:
+        return f"Group{self.members}"
+
+    # -------------------------------------------------------- constructions
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup of the given group-ranks, in the given order."""
+        for r in ranks:
+            if not (0 <= r < self.size):
+                raise RankError(f"incl rank {r} outside group of size {self.size}")
+        return Group(self.members[r] for r in ranks)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup without the given group-ranks, preserving order."""
+        bad = set(ranks)
+        for r in bad:
+            if not (0 <= r < self.size):
+                raise RankError(f"excl rank {r} outside group of size {self.size}")
+        return Group(m for i, m in enumerate(self.members) if i not in bad)
+
+    def range_incl(self, triplets: Sequence[Tuple[int, int, int]]) -> "Group":
+        """MPI_Group_range_incl: triplets of (first, last, stride)."""
+        ranks: List[int] = []
+        for first, last, stride in triplets:
+            if stride == 0:
+                raise RankError("range stride cannot be zero")
+            ranks.extend(range(first, last + (1 if stride > 0 else -1), stride))
+        return self.incl(ranks)
+
+    def union(self, other: "Group") -> "Group":
+        seen = set(self.members)
+        return Group(self.members + tuple(m for m in other.members if m not in seen))
+
+    def intersection(self, other: "Group") -> "Group":
+        keep = set(other.members)
+        return Group(m for m in self.members if m in keep)
+
+    def difference(self, other: "Group") -> "Group":
+        drop = set(other.members)
+        return Group(m for m in self.members if m not in drop)
+
+    # ---------------------------------------------------------- translation
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> List[int]:
+        """Map this group's ranks into *other*'s ranks (UNDEFINED if absent)."""
+        out: List[int] = []
+        for r in ranks:
+            if not (0 <= r < self.size):
+                raise RankError(f"translate rank {r} outside group of size {self.size}")
+            o = other.rank_of(self.members[r])
+            out.append(UNDEFINED if o is None else o)
+        return out

@@ -1,0 +1,440 @@
+"""Point-to-point Management Layer (the ob1 analogue).
+
+Implements eager and rendezvous transfer protocols over the fabric, message
+matching, and — crucially for this paper — the interposition surface the
+replication layer uses (§4.1):
+
+* ``on_match`` hooks fire at the ``pml_match`` event: an incoming message
+  has been paired with a posted receive (first packet arrived);
+* ``on_recv_complete`` hooks fire at the ``pml_recv_complete`` event: a
+  message is *fully received at the library level* — for eager messages this
+  is frame arrival (even if the receive has not been posted yet), for
+  rendezvous it is arrival of the DATA frame.  SDR-MPI sends its acks here
+  (§3.3, Algorithm 1 line 15);
+* ``incoming_filter`` lets a protocol intercept application envelopes before
+  matching (SDR-MPI uses this for duplicate suppression and per-channel
+  in-order release);
+* ``ctrl_handlers`` dispatch protocol-private frames (acks, leader
+  decisions, hashes, recovery notices) that never touch MPI matching.
+
+Cost accounting: every injected frame charges the sender
+``model.send_overhead`` of CPU busy time; every handled frame charges the
+receiver ``model.recv_overhead``.  Wire serialization and propagation are
+charged by the fabric.  There is **no asynchronous progress**: frames are
+handled only inside :meth:`Pml.progress_step`, which runs only while the
+owning process executes an MPI call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.mpi.datatypes import copy_payload, nbytes_of
+from repro.mpi.errors import MpiError, TruncationError
+from repro.mpi.matching import MatchEngine
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.network.fabric import Fabric, Frame
+from repro.sim.kernel import Simulator
+from repro.sim.sync import Timeout
+
+__all__ = [
+    "Envelope",
+    "Pml",
+    "PmlRecvRequest",
+    "PmlSendRequest",
+    "RTS_BYTES",
+    "CTS_BYTES",
+    "CTRL_BYTES",
+]
+
+#: wire size of a rendezvous request-to-send frame
+RTS_BYTES = 64
+#: wire size of a clear-to-send frame
+CTS_BYTES = 32
+#: default wire size of protocol control frames (acks etc.)
+CTRL_BYTES = 32
+
+
+@dataclass
+class Envelope:
+    """Everything the PML knows about a message.
+
+    ``src_rank`` is the sender's rank *within the matching context* (what
+    MPI matching sees); ``world_src``/``world_dst`` are logical world ranks
+    (what the replication protocol keys on); ``seq`` is the per
+    (world_src → world_dst) application-message sequence number, identical
+    across replicas by send-determinism.
+    """
+
+    kind: str  # 'eager' | 'rts' | 'cts' | 'data' | 'ctrl'
+    ctx: Any
+    src_rank: int
+    tag: int
+    world_src: int
+    world_dst: int
+    seq: int
+    nbytes: int
+    data: Any
+    src_phys: int
+    dst_phys: int
+    msg_id: int = -1
+    ctrl_key: str = ""
+
+    def clone_for(self, dst_phys: int) -> "Envelope":
+        """Copy addressed to a different physical destination (mirror/resend)."""
+        return Envelope(
+            kind=self.kind,
+            ctx=self.ctx,
+            src_rank=self.src_rank,
+            tag=self.tag,
+            world_src=self.world_src,
+            world_dst=self.world_dst,
+            seq=self.seq,
+            nbytes=self.nbytes,
+            data=self.data,
+            src_phys=self.src_phys,
+            dst_phys=dst_phys,
+            msg_id=self.msg_id,
+            ctrl_key=self.ctrl_key,
+        )
+
+
+class PmlSendRequest:
+    """Library-level send request: done at ``isendComplete``."""
+
+    __slots__ = ("dst_phys", "nbytes", "done", "msg_id", "envelope", "cancelled")
+
+    def __init__(self, dst_phys: int, nbytes: int, msg_id: int, envelope: Envelope) -> None:
+        self.dst_phys = dst_phys
+        self.nbytes = nbytes
+        self.msg_id = msg_id
+        self.envelope = envelope
+        self.done = False
+        self.cancelled = False
+
+
+class PmlRecvRequest:
+    """Library-level receive request.
+
+    ``lib_complete`` mirrors the paper's ``irecvComplete``: payload fully in
+    the library.  ``done`` is application-level completion (payload copied
+    into the user buffer, status filled).
+    """
+
+    __slots__ = (
+        "ctx",
+        "source",
+        "tag",
+        "buf",
+        "done",
+        "lib_complete",
+        "matched",
+        "data",
+        "status",
+        "cancelled",
+    )
+
+    def __init__(self, ctx: Any, source: int, tag: int, buf: Any = None) -> None:
+        self.ctx = ctx
+        self.source = source
+        self.tag = tag
+        self.buf = buf
+        self.done = False
+        self.lib_complete = False
+        self.matched: Optional[Envelope] = None
+        self.data: Any = None
+        self.status: Optional[Status] = None
+        self.cancelled = False
+
+
+HookFn = Callable[..., Optional[Generator]]
+
+
+class Pml:
+    """Per-physical-process point-to-point layer."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, proc: int) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.proc = proc
+        self.endpoint = fabric.endpoint(proc)
+        self.matching = MatchEngine()
+        self._msg_id = 0
+        # outstanding rendezvous state
+        self._rdv_sends: Dict[int, Tuple[PmlSendRequest, Envelope]] = {}
+        self._rdv_recvs: Dict[Tuple[int, int], PmlRecvRequest] = {}
+        # interposition surface
+        self.on_match: List[HookFn] = []
+        self.on_recv_complete: List[HookFn] = []
+        self.incoming_filter: Optional[Callable[[Envelope], Generator]] = None
+        self.ctrl_handlers: Dict[str, Callable[[Envelope], Generator]] = {}
+        self.svc_handlers: Dict[str, Callable[[Any], Generator]] = {}
+        # counters
+        self.sends_posted = 0
+        self.recvs_posted = 0
+
+    # ------------------------------------------------------------ utilities
+    def _next_msg_id(self) -> int:
+        self._msg_id += 1
+        return self._msg_id
+
+    def model_to(self, dst_phys: int):
+        return self.fabric.model_for(self.proc, dst_phys)
+
+    def _charge(self, seconds: float) -> Generator:
+        if seconds > 0.0:
+            yield Timeout(self.sim, seconds)
+
+    def inject(self, env: Envelope, wire_bytes: int) -> Generator:
+        """Charge sender overhead and put one frame on the wire."""
+        model = self.model_to(env.dst_phys)
+        yield from self._charge(model.send_overhead)
+        self.fabric.inject(
+            Frame(src=self.proc, dst=env.dst_phys, size=wire_bytes, payload=env, kind=env.kind)
+        )
+
+    # ----------------------------------------------------------------- send
+    def isend(
+        self,
+        ctx: Any,
+        src_rank: int,
+        tag: int,
+        data: Any,
+        world_src: int,
+        world_dst: int,
+        seq: int,
+        dst_phys: int,
+        already_copied: bool = False,
+        synchronous: bool = False,
+    ) -> Generator[Any, Any, PmlSendRequest]:
+        """Post a send.  Generator: charges sender CPU; returns the request.
+
+        Payload is snapshotted here (MPI allows the caller to reuse the
+        buffer only after completion, but replication needs a stable copy
+        for retention regardless).  ``synchronous`` forces the rendezvous
+        protocol whatever the size — MPI_Ssend semantics: completion
+        implies the receive has been matched.
+        """
+        payload = data if already_copied else copy_payload(data)
+        nbytes = nbytes_of(payload)
+        msg_id = self._next_msg_id()
+        model = self.model_to(dst_phys)
+        kind = "eager" if (not synchronous and nbytes <= model.eager_limit) else "rts"
+        env = Envelope(
+            kind=kind,
+            ctx=ctx,
+            src_rank=src_rank,
+            tag=tag,
+            world_src=world_src,
+            world_dst=world_dst,
+            seq=seq,
+            nbytes=nbytes,
+            data=payload,
+            src_phys=self.proc,
+            dst_phys=dst_phys,
+            msg_id=msg_id,
+        )
+        req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
+        self.sends_posted += 1
+        if kind == "eager":
+            yield from self.inject(env, nbytes)
+            req.done = True
+        else:
+            # Rendezvous: RTS now, DATA once the CTS comes back.
+            rts = env.clone_for(dst_phys)
+            rts.kind = "rts"
+            rts.data = None
+            self._rdv_sends[msg_id] = (req, env)
+            yield from self.inject(rts, RTS_BYTES)
+        return req
+
+    def send_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> Generator:
+        """Send a protocol-private control frame (never enters matching)."""
+        env = Envelope(
+            kind="ctrl",
+            ctx=None,
+            src_rank=-1,
+            tag=-1,
+            world_src=-1,
+            world_dst=-1,
+            seq=-1,
+            nbytes=nbytes,
+            data=data,
+            src_phys=self.proc,
+            dst_phys=dst_phys,
+            ctrl_key=ctrl_key,
+        )
+        yield from self.inject(env, nbytes)
+
+    # ----------------------------------------------------------------- recv
+    def irecv(self, ctx: Any, source: int, tag: int, buf: Any = None) -> Generator[Any, Any, PmlRecvRequest]:
+        """Post a receive; may match an unexpected message immediately."""
+        req = PmlRecvRequest(ctx, source, tag, buf)
+        self.recvs_posted += 1
+        env = self.matching.post(req)
+        if env is not None:
+            yield from self._matched(req, env, from_unexpected=True)
+        return req
+
+    def cancel_recv(self, req: PmlRecvRequest) -> bool:
+        ok = self.matching.cancel(req)
+        if ok:
+            req.cancelled = True
+            req.done = True
+            req.status = Status(cancelled=True)
+        return ok
+
+    # ------------------------------------------------------------- progress
+    def progress_step(self) -> Generator:
+        """Handle one inbound frame, or block until one arrives.
+
+        The *only* place frames are examined — the no-asynchronous-progress
+        contract.  Callers loop over this until their completion condition
+        holds.
+        """
+        ep = self.endpoint
+        if ep.inbox:
+            frame = ep.inbox.popleft()
+            yield from self._handle_frame(frame)
+        else:
+            yield ep.wait_for_frame()
+
+    def drain(self) -> Generator:
+        """Handle all currently-queued frames without blocking (MPI_Test)."""
+        ep = self.endpoint
+        while ep.inbox:
+            frame = ep.inbox.popleft()
+            yield from self._handle_frame(frame)
+
+    def _handle_frame(self, frame: Frame) -> Generator:
+        if frame.kind == "svc":
+            key, payload = frame.payload
+            handler = self.svc_handlers.get(key)
+            if handler is not None:
+                yield from handler(payload)
+            return
+        env: Envelope = frame.payload
+        model = self.fabric.model_for(frame.src, self.proc) if frame.src >= 0 else None
+        if model is not None:
+            yield from self._charge(model.recv_overhead)
+        if env.kind == "ctrl":
+            handler = self.ctrl_handlers.get(env.ctrl_key)
+            if handler is None:
+                raise MpiError(f"proc {self.proc}: no handler for ctrl {env.ctrl_key!r}")
+            yield from handler(env)
+        elif env.kind == "cts":
+            yield from self._handle_cts(env)
+        elif env.kind == "data":
+            yield from self._handle_rdv_data(env)
+        elif env.kind in ("eager", "rts"):
+            if self.incoming_filter is not None:
+                deliver = yield from self.incoming_filter(env)
+                if not deliver:
+                    return
+            yield from self.deliver_to_matching(env)
+        else:  # pragma: no cover - defensive
+            raise MpiError(f"unknown frame kind {env.kind!r}")
+
+    # ---------------------------------------------------- matching plumbing
+    def deliver_to_matching(self, env: Envelope) -> Generator:
+        """Offer an application envelope to MPI matching.
+
+        Called from frame handling, and by the replication layer when it
+        releases held-back envelopes from its reorder buffer.
+        """
+        recv = self.matching.arrive(env)
+        if recv is not None:
+            yield from self._matched(recv, env, from_unexpected=False)
+        else:
+            if env.kind == "eager":
+                # Fully received at the library level even though unexpected:
+                # this *is* irecvComplete for the vProtocol layer (§3.3).
+                yield from self._fire_recv_complete(env, None)
+            # rts: nothing to do until a receive is posted.
+
+    def _matched(self, recv: PmlRecvRequest, env: Envelope, from_unexpected: bool) -> Generator:
+        recv.matched = env
+        for hook in self.on_match:
+            gen = hook(recv, env)
+            if gen is not None:
+                yield from gen
+        if env.kind == "eager":
+            if not from_unexpected:
+                yield from self._fire_recv_complete(env, recv)
+            self._complete_recv(recv, env)
+        elif env.kind == "rts":
+            # Clear the sender to transfer the payload.
+            self._rdv_recvs[(env.src_phys, env.msg_id)] = recv
+            cts = Envelope(
+                kind="cts",
+                ctx=env.ctx,
+                src_rank=-1,
+                tag=-1,
+                world_src=-1,
+                world_dst=-1,
+                seq=env.seq,
+                nbytes=CTS_BYTES,
+                data=None,
+                src_phys=self.proc,
+                dst_phys=env.src_phys,
+                msg_id=env.msg_id,
+            )
+            yield from self.inject(cts, CTS_BYTES)
+        else:  # pragma: no cover - defensive
+            raise MpiError(f"cannot match frame kind {env.kind!r}")
+
+    def _handle_cts(self, cts: Envelope) -> Generator:
+        entry = self._rdv_sends.pop(cts.msg_id, None)
+        if entry is None:
+            return  # send was cancelled (destination died)
+        req, env = entry
+        if req.cancelled:
+            return
+        data_env = env.clone_for(env.dst_phys)
+        data_env.kind = "data"
+        yield from self.inject(data_env, data_env.nbytes)
+        req.done = True
+
+    def _handle_rdv_data(self, env: Envelope) -> Generator:
+        recv = self._rdv_recvs.pop((env.src_phys, env.msg_id), None)
+        if recv is None:
+            return  # receive was cancelled after CTS
+        yield from self._fire_recv_complete(env, recv)
+        self._complete_recv(recv, env)
+
+    def _fire_recv_complete(self, env: Envelope, recv: Optional[PmlRecvRequest]) -> Generator:
+        if recv is not None:
+            recv.lib_complete = True
+        for hook in self.on_recv_complete:
+            gen = hook(env, recv)
+            if gen is not None:
+                yield from gen
+
+    def _complete_recv(self, recv: PmlRecvRequest, env: Envelope) -> None:
+        import numpy as np
+
+        recv.lib_complete = True
+        recv.data = env.data
+        if recv.buf is not None and isinstance(recv.buf, np.ndarray) and isinstance(env.data, np.ndarray):
+            if env.data.nbytes > recv.buf.nbytes:
+                raise TruncationError(
+                    f"proc {self.proc}: message of {env.data.nbytes} B truncates "
+                    f"buffer of {recv.buf.nbytes} B (ctx={env.ctx}, tag={env.tag})"
+                )
+            flat = recv.buf.reshape(-1)
+            src = env.data.reshape(-1)
+            flat[: src.size] = src
+        recv.status = Status(source=env.src_rank, tag=env.tag, nbytes=env.nbytes)
+        recv.done = True
+
+    def cancel_sends_to(self, dst_phys: int) -> int:
+        """Cancel outstanding rendezvous sends toward a dead process."""
+        cancelled = 0
+        for msg_id, (req, _env) in list(self._rdv_sends.items()):
+            if req.dst_phys == dst_phys and not req.done:
+                req.cancelled = True
+                req.done = True
+                del self._rdv_sends[msg_id]
+                cancelled += 1
+        return cancelled

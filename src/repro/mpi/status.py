@@ -1,0 +1,28 @@
+"""MPI_Status analogue and wildcard constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status"]
+
+#: wildcard source rank (MPI_ANY_SOURCE)
+ANY_SOURCE: int = -1
+#: wildcard tag (MPI_ANY_TAG)
+ANY_TAG: int = -1
+
+
+@dataclass
+class Status:
+    """Outcome of a completed receive.
+
+    ``source`` and ``tag`` are the matched values (never wildcards), as in
+    ``MPI_Status.MPI_SOURCE`` / ``MPI_TAG``.  ``nbytes`` plays the role of
+    ``MPI_Get_count`` in bytes.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+    cancelled: bool = False

@@ -1,0 +1,212 @@
+"""The wire: reliable FIFO channels between physical processes.
+
+Semantics match the paper's system model (§2.1):
+
+* channels exist between every ordered pair of processes,
+* channels are FIFO and reliable,
+* no synchrony assumption — the cost model decides arrival times, and
+  correctness never depends on them.
+
+Crash semantics are fail-stop.  A crashed process injects nothing further;
+frames already in flight are still delivered to live destinations (protocol
+layers dedup via per-channel sequence numbers).  Frames addressed to a
+crashed process are dropped on arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.network.topology import Placement
+from repro.sim.kernel import Simulator
+from repro.sim.sync import Event, Mailbox
+
+__all__ = ["Frame", "Endpoint", "Fabric"]
+
+
+@dataclass
+class Frame:
+    """One unit of transfer on the wire.
+
+    ``payload`` is opaque to the fabric; the PML owns its meaning.  ``size``
+    is the number of bytes used for costing (header + payload).
+    """
+
+    src: int
+    dst: int
+    size: int
+    payload: Any
+    kind: str = "data"
+    #: stamped by the fabric at injection / delivery (virtual seconds)
+    sent_at: float = -1.0
+    arrived_at: float = -1.0
+
+
+class Endpoint:
+    """Per-physical-process attachment point.
+
+    The inbox is a FIFO of delivered frames.  ``arrival_event`` is re-armed
+    by the progress engine: it fires whenever a new frame lands, waking a
+    process blocked inside an MPI call.  Frames landing while the process is
+    computing simply accumulate (no asynchronous progress — §3.3).
+    """
+
+    def __init__(self, sim: Simulator, proc: int) -> None:
+        self.sim = sim
+        self.proc = proc
+        self.inbox: Deque[Frame] = deque()
+        self.alive = True
+        self._waiter: Optional[Event] = None
+        #: observability counters
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.bytes_received = 0
+        self.bytes_sent = 0
+
+    def deliver(self, frame: Frame) -> None:
+        if not self.alive:
+            return
+        self.inbox.append(frame)
+        self.frames_received += 1
+        self.bytes_received += frame.size
+        if self._waiter is not None and not self._waiter.triggered:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(None)
+
+    def wait_for_frame(self) -> Event:
+        """Event that fires as soon as the inbox is (or becomes) non-empty."""
+        ev = Event(self.sim, label=f"frame@{self.proc}")
+        if self.inbox:
+            ev.succeed(None)
+        else:
+            if self._waiter is not None and not self._waiter.triggered:
+                # Chain: multiple waiters collapse onto one underlying arm.
+                prev = self._waiter
+
+                def fanout(e: Event, a: Event = prev, b: Event = ev) -> None:
+                    if not b.triggered:
+                        b.succeed(None)
+
+                prev.add_callback(fanout)
+            else:
+                self._waiter = ev
+        return ev
+
+
+class Fabric:
+    """Delivers frames between endpoints according to a placement's models.
+
+    Serialization: each ordered (src, dst) channel carries one frame at a
+    time; a frame occupies the channel for ``model.serialization(size)``
+    seconds, giving LogGP gap behaviour for streams without simulating
+    individual packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        placement: Placement,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.placement = placement
+        self.endpoints: Dict[int, Endpoint] = {
+            proc: Endpoint(sim, proc) for proc in range(len(placement))
+        }
+        self._channel_free: Dict[Tuple[int, int], float] = {}
+        # Shared per-node NIC: all inter-node traffic of a node serializes
+        # through its uplink/downlink (8 ranks per node share one HCA in the
+        # paper's testbed).  Cut-through: latency overlaps serialization.
+        self._uplink_free: Dict[int, float] = {}
+        self._downlink_free: Dict[int, float] = {}
+        self._jitter = jitter
+        self.on_crash: List[Callable[[int], None]] = []
+        #: totals for message-complexity ablations (mirror vs parallel)
+        self.total_frames = 0
+        self.total_bytes = 0
+        self.frames_by_kind: Dict[str, int] = {}
+
+    # ----------------------------------------------------------- attachment
+    def endpoint(self, proc: int) -> Endpoint:
+        return self.endpoints[proc]
+
+    def model_for(self, src: int, dst: int):
+        return self.placement.cluster.model_for(
+            self.placement.node_of(src), self.placement.node_of(dst)
+        )
+
+    def is_alive(self, proc: int) -> bool:
+        return self.endpoints[proc].alive
+
+    # ------------------------------------------------------------ transfers
+    def inject(self, frame: Frame) -> float:
+        """Put *frame* on the wire now.  Returns the arrival time.
+
+        The caller (PML) is responsible for charging sender CPU overhead;
+        the fabric charges wire serialization and propagation only.
+        """
+        src_ep = self.endpoints[frame.src]
+        if not src_ep.alive:
+            # A crashed process cannot send; drop silently (the process is
+            # being torn down and no correctness property may depend on it).
+            return self.sim.now
+        model = self.model_for(frame.src, frame.dst)
+        key = (frame.src, frame.dst)
+        ser = model.serialization(frame.size)
+        src_node = self.placement.node_of(frame.src)
+        dst_node = self.placement.node_of(frame.dst)
+        if src_node != dst_node:
+            # Uplink occupancy at the source node.
+            t_up = max(self.sim.now, self._uplink_free.get(src_node, 0.0))
+            self._uplink_free[src_node] = t_up + ser
+            # Head reaches the destination NIC after the wire latency;
+            # the frame then drains through the shared downlink.
+            t_down = max(t_up + model.latency, self._downlink_free.get(dst_node, 0.0))
+            arrival = t_down + ser
+            self._downlink_free[dst_node] = arrival
+        else:
+            depart = max(self.sim.now, self._channel_free.get(key, 0.0))
+            arrival = depart + ser + model.latency
+            self._channel_free[key] = arrival
+        if self._jitter is not None:
+            arrival += max(0.0, self._jitter())
+        # FIFO guarantee: serialization already enforces non-decreasing
+        # arrivals per channel when jitter is zero; with jitter, clamp.
+        frame.sent_at = self.sim.now
+        src_ep.frames_sent += 1
+        src_ep.bytes_sent += frame.size
+        self.total_frames += 1
+        self.total_bytes += frame.size
+        self.frames_by_kind[frame.kind] = self.frames_by_kind.get(frame.kind, 0) + 1
+        last = getattr(self, "_last_arrival", None)
+        if last is None:
+            self._last_arrival = {}
+        prev = self._last_arrival.get(key, 0.0)
+        arrival = max(arrival, prev)
+        self._last_arrival[key] = arrival
+
+        def _deliver() -> None:
+            frame.arrived_at = self.sim.now
+            self.endpoints[frame.dst].deliver(frame)
+
+        self.sim.call_at(arrival, _deliver)
+        return arrival
+
+    # --------------------------------------------------------------- faults
+    def crash(self, proc: int) -> None:
+        """Fail-stop endpoint *proc* and notify crash listeners."""
+        ep = self.endpoints[proc]
+        if not ep.alive:
+            return
+        ep.alive = False
+        ep.inbox.clear()
+        for listener in list(self.on_crash):
+            listener(proc)
+
+    def revive(self, proc: int) -> None:
+        """Re-attach a respawned process (recovery, §3.4)."""
+        ep = self.endpoints[proc]
+        ep.alive = True
+        ep.inbox.clear()

@@ -1,0 +1,120 @@
+"""Cluster topology and process placement.
+
+The paper's setup: 64 nodes, two quad-core Xeon L5420 each (8 cores/node),
+256 MPI ranks with dual replication = 512 physical processes; "the first set
+of 256 replicas run on the first half of the nodes, and the second set on
+the other half" (§4.2).  :func:`split_halves_placement` reproduces exactly
+that policy; :func:`round_robin_placement` is the unreplicated default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.model import NetworkCostModel, InfiniBand20G, SharedMemoryModel
+
+__all__ = [
+    "Cluster",
+    "Placement",
+    "round_robin_placement",
+    "split_halves_placement",
+]
+
+
+@dataclass
+class Cluster:
+    """A homogeneous cluster: *nodes* × *cores_per_node* cores.
+
+    ``inter_node`` prices frames between distinct nodes; ``intra_node``
+    prices frames between cores of the same node.
+    """
+
+    nodes: int = 64
+    cores_per_node: int = 8
+    inter_node: NetworkCostModel = field(default_factory=InfiniBand20G)
+    intra_node: NetworkCostModel = field(default_factory=SharedMemoryModel)
+    #: Per-core sustained compute rate used by workload compute models.
+    flops_per_core: float = 2.5e9
+    #: OS/system noise: lognormal sigma multiplying every compute phase.
+    #: Replication couples each rank to its replica's timing through acks,
+    #: so noise is amplified under replication — the dominant source of the
+    #: paper's application-level overhead (cf. rMPI's scale results).
+    compute_noise: float = 0.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def model_for(self, node_a: int, node_b: int) -> NetworkCostModel:
+        return self.intra_node if node_a == node_b else self.inter_node
+
+
+@dataclass
+class Placement:
+    """Mapping of physical process id -> (node, core)."""
+
+    cluster: Cluster
+    slots: List[Tuple[int, int]]
+
+    def node_of(self, proc: int) -> int:
+        return self.slots[proc][0]
+
+    def core_of(self, proc: int) -> int:
+        return self.slots[proc][1]
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def validate(self) -> None:
+        """Check one process per core and bounds."""
+        seen: Dict[Tuple[int, int], int] = {}
+        for proc, (node, core) in enumerate(self.slots):
+            if not (0 <= node < self.cluster.nodes):
+                raise ValueError(f"proc {proc}: node {node} out of range")
+            if not (0 <= core < self.cluster.cores_per_node):
+                raise ValueError(f"proc {proc}: core {core} out of range")
+            if (node, core) in seen:
+                raise ValueError(
+                    f"procs {seen[(node, core)]} and {proc} share core {(node, core)}"
+                )
+            seen[(node, core)] = proc
+
+
+def round_robin_placement(cluster: Cluster, nprocs: int, fill_node_first: bool = True) -> Placement:
+    """Pack processes onto cores; by-node filling is the common MPI default."""
+    if nprocs > cluster.total_cores:
+        raise ValueError(
+            f"{nprocs} processes do not fit on {cluster.total_cores} cores"
+        )
+    slots: List[Tuple[int, int]] = []
+    for proc in range(nprocs):
+        if fill_node_first:
+            slots.append((proc // cluster.cores_per_node, proc % cluster.cores_per_node))
+        else:
+            slots.append((proc % cluster.nodes, proc // cluster.nodes))
+    return Placement(cluster, slots)
+
+
+def split_halves_placement(cluster: Cluster, n_ranks: int, degree: int) -> Placement:
+    """The paper's replicated placement (§4.2).
+
+    Replica set *k* occupies the *k*-th slice of ``nodes/degree`` nodes, so
+    the two replicas of a logical rank always live on different nodes.
+    Physical process ids are ordered replica-major: proc = rep * n_ranks + rank,
+    matching :mod:`repro.core.worlds`.
+    """
+    if cluster.nodes % degree != 0:
+        raise ValueError(f"{cluster.nodes} nodes not divisible by degree {degree}")
+    nodes_per_set = cluster.nodes // degree
+    if n_ranks > nodes_per_set * cluster.cores_per_node:
+        raise ValueError(
+            f"{n_ranks} ranks do not fit on {nodes_per_set} nodes "
+            f"({cluster.cores_per_node} cores each)"
+        )
+    slots: List[Tuple[int, int]] = []
+    for rep in range(degree):
+        base = rep * nodes_per_set
+        for rank in range(n_ranks):
+            slots.append((base + rank // cluster.cores_per_node, rank % cluster.cores_per_node))
+    return Placement(cluster, slots)

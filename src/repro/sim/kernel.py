@@ -1,0 +1,177 @@
+"""The event loop: virtual clock plus a deterministic priority queue.
+
+Determinism contract
+--------------------
+Events scheduled for the same virtual time fire in the order they were
+scheduled (FIFO tie-breaking via a sequence counter).  Nothing in the kernel
+consults wall-clock time or unseeded randomness, so a simulation is a pure
+function of its inputs.  This property is load-bearing: the send-determinism
+checker (:mod:`repro.trace.determinism`) relies on being able to perturb
+*only* the knobs it intends to perturb.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Simulator", "SimulationError", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal kernel-level errors (deadlock, time travel, ...)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to abort :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace_hook:
+        Optional callable invoked as ``trace_hook(time, event)`` just before
+        each event fires; used by :mod:`repro.trace` for observability.
+    """
+
+    def __init__(self, trace_hook: Optional[Callable[[float, Any], None]] = None) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._queue: list = []  # heap of (time, seq, event)
+        self._running = False
+        self._stopped: Optional[StopSimulation] = None
+        self.trace_hook = trace_hook
+        #: number of events dispatched so far (observability/bench metric)
+        self.events_dispatched: int = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, event: "EventLike", delay: float = 0.0) -> "EventLike":
+        """Enqueue *event* to fire ``delay`` seconds from now.
+
+        Returns the event to allow chaining.  Negative delays are a
+        programming error and raise :class:`SimulationError`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        return event
+
+    def schedule_at(self, event: "EventLike", when: float) -> "EventLike":
+        """Enqueue *event* to fire at absolute virtual time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when} (now t={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+        return event
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback at absolute time *when*."""
+        self.schedule_at(_Callback(fn), when)
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback ``delay`` seconds from now."""
+        self.schedule(_Callback(fn), delay)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> Any:
+        """Dispatch events until the queue drains or *until* is reached.
+
+        Returns the value carried by :class:`StopSimulation` if the
+        simulation was stopped explicitly, else ``None``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stopped = None
+        try:
+            while self._queue:
+                when, _seq, event = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if when < self._now:  # pragma: no cover - defensive
+                    raise SimulationError("time went backwards")
+                self._now = when
+                if getattr(event, "cancelled", False):
+                    continue
+                if self.trace_hook is not None:
+                    self.trace_hook(self._now, event)
+                self.events_dispatched += 1
+                try:
+                    event.fire()
+                except StopSimulation as stop:
+                    self._stopped = stop
+                    break
+            else:
+                if until is not None:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._stopped.value if self._stopped is not None else None
+
+    def step(self) -> bool:
+        """Dispatch a single event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if getattr(event, "cancelled", False):
+            return True
+        self.events_dispatched += 1
+        event.fire()
+        return True
+
+    def stop(self, value: Any = None) -> None:
+        """Stop the simulation from inside an event callback."""
+        raise StopSimulation(value)
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)
+
+    def peek(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None if idle."""
+        return self._queue[0][0] if self._queue else None
+
+
+class _Callback:
+    """Adapter turning a plain callable into a schedulable event."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self.cancelled = False
+
+    def fire(self) -> None:
+        self.fn()
+
+
+class EventLike:
+    """Protocol for objects accepted by :meth:`Simulator.schedule`.
+
+    Anything with a ``fire()`` method and an optional ``cancelled``
+    attribute qualifies; :class:`repro.sim.sync.Event` is the canonical
+    implementation.
+    """
+
+    cancelled: bool
+
+    def fire(self) -> None:  # pragma: no cover - protocol stub
+        raise NotImplementedError

@@ -1,0 +1,167 @@
+"""Generator-based cooperative processes.
+
+A process wraps a generator.  Each time the generator yields an
+:class:`~repro.sim.sync.Event`, the process suspends until the event fires;
+the event's value is sent back into the generator (failures are thrown in).
+``yield from`` composes sub-generators naturally, which is how the MPI API
+facade exposes blocking calls.
+
+Crash injection: :meth:`Process.crash` throws :class:`ProcessCrashed` into
+the generator at the *current* simulation time, modelling fail-stop
+behaviour.  A crashed process never runs again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.sync import Event, Interrupt
+
+__all__ = ["Process", "ProcessCrashed", "ProcessFailure"]
+
+
+class ProcessCrashed(Interrupt):
+    """Thrown into a process generator to model a fail-stop crash."""
+
+
+class ProcessFailure(RuntimeError):
+    """Wraps an exception that escaped a process generator."""
+
+    def __init__(self, process: "Process", cause: BaseException) -> None:
+        super().__init__(f"process {process.name!r} died: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Process:
+    """A cooperative process driven by the simulator.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The process body.  It may yield Events and return a final value.
+    name:
+        Human-readable identifier used in traces and error messages.
+    on_exit:
+        Optional callback invoked as ``on_exit(process)`` when the body
+        returns, raises, or crashes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Event, Any, Any],
+        name: str = "proc",
+        on_exit: Optional[Callable[["Process"], None]] = None,
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process body must be a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        self.alive = True
+        self.crashed = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        #: Event fired when the process terminates (for joins).
+        self.terminated = Event(sim, label=f"terminated({name})")
+        self.on_exit = on_exit
+        # Kick off at the current time via the event queue so construction
+        # order, not construction *site*, determines first-step order.
+        start = Event(sim, label=f"start({name})")
+        start.add_callback(lambda ev: self._resume(ev))
+        start.succeed(None)
+
+    # ------------------------------------------------------------- stepping
+    def _resume(self, ev: Event) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if ev.ok:
+                target = self._gen.send(ev.value)
+            else:
+                target = self._gen.throw(ev.value)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except ProcessCrashed:
+            self._finish(crashed=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - escalate with context
+            self._finish(exception=exc)
+            return
+        if not isinstance(target, Event):
+            self._finish(
+                exception=SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes may "
+                    "only yield Event instances (use `yield from` for "
+                    "sub-generators)"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish(
+        self,
+        value: Any = None,
+        exception: Optional[BaseException] = None,
+        crashed: bool = False,
+    ) -> None:
+        self.alive = False
+        self.crashed = crashed
+        self.value = value
+        self.exception = exception
+        self._gen.close()
+        if self.on_exit is not None:
+            self.on_exit(self)
+        if exception is not None:
+            # Fail the join event so waiters see the error; if nobody joins,
+            # surface it loudly instead of dying silently.
+            self.terminated.fail(ProcessFailure(self, exception))
+        else:
+            self.terminated.succeed(value)
+
+    # ------------------------------------------------------------ interface
+    def crash(self) -> None:
+        """Fail-stop this process immediately (idempotent)."""
+        if not self.alive:
+            return
+        if self._waiting_on is not None and not self._waiting_on.triggered:
+            # Detach: deliver the crash via a dedicated event so we do not
+            # mutate the event the process was waiting on.
+            waiting = self._waiting_on
+            self._waiting_on = None
+            try:
+                self._gen.throw(ProcessCrashed())
+            except (StopIteration, ProcessCrashed):
+                pass
+            except BaseException:  # noqa: BLE001 - crash wins over cleanup errors
+                pass
+            self._finish(crashed=True)
+        else:
+            # Process is on the run queue (event triggered but not fired):
+            # mark dead; _resume guards on self.alive.
+            try:
+                self._gen.throw(ProcessCrashed())
+            except (StopIteration, ProcessCrashed):
+                pass
+            except BaseException:  # noqa: BLE001
+                pass
+            self._finish(crashed=True)
+
+    def join(self) -> Event:
+        """Event that fires when this process terminates."""
+        return self.terminated
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else ("crashed" if self.crashed else "done")
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.harness.runner import Job, JobResult, cluster_for
+from repro.network.topology import Cluster
+
+
+def run_app(
+    app: Callable[..., Any],
+    n_ranks: int,
+    protocol: str = "native",
+    degree: int = 2,
+    cluster: Optional[Cluster] = None,
+    crash: Optional[tuple] = None,
+    seed: int = 0,
+    **kwargs: Any,
+) -> JobResult:
+    """One-line job runner used throughout the tests."""
+    if protocol == "native":
+        cfg = ReplicationConfig(degree=1, protocol="native")
+    else:
+        cfg = ReplicationConfig(degree=degree, protocol=protocol)
+    job = Job(
+        n_ranks,
+        cfg=cfg,
+        cluster=cluster or cluster_for(n_ranks, cfg.degree),
+        seed=seed,
+    )
+    job.launch(app, **kwargs)
+    if crash is not None:
+        rank, rep, at = crash
+        job.crash(rank, rep, at=at)
+    return job.run()
+
+
+@pytest.fixture
+def sim():
+    from repro.sim.kernel import Simulator
+
+    return Simulator()

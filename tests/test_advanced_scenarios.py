@@ -1,0 +1,179 @@
+"""Advanced fault scenarios: r=3, repeated crashes, crash-after-recovery.
+
+These push the protocol past the paper's evaluated envelope (the protocol
+is specified for any r ≥ 2; only *recovery* is r=2-specific) and validate
+that a respawned replica is a first-class citizen — including being able
+to act as substitute when the original survivor later dies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.recovery import RecoveryManager
+from repro.harness.runner import Job, cluster_for
+
+
+class St:
+    def __init__(self):
+        self.it = 0
+        self.acc = 0.0
+
+
+def exchange(mpi, iters=80, state=None):
+    st = state or St()
+    mpi.register_state(st)
+    while st.it < iters:
+        it = st.it
+        if mpi.rank == 1:
+            yield from mpi.send(np.array([float(it)]), dest=0, tag=1)
+            got, _ = yield from mpi.recv(source=0, tag=2)
+        else:
+            got, _ = yield from mpi.recv(source=1, tag=1)
+            yield from mpi.send(np.array([2.0 * it]), dest=1, tag=2)
+        st.acc += float(got[0])
+        st.it += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def _want(iters=80):
+    return {0: sum(float(i) for i in range(iters)), 1: sum(2.0 * i for i in range(iters))}
+
+
+def _check(job, res, iters=80):
+    want = _want(iters)
+    for proc, val in res.app_results.items():
+        assert val == want[job.rmap.rank_of(proc)], (proc, val)
+
+
+class TestTripleReplication:
+    def _job(self, n_ranks=2):
+        cfg = ReplicationConfig(degree=3, protocol="sdr")
+        return Job(n_ranks, cfg=cfg, cluster=cluster_for(n_ranks, 3, cores_per_node=1))
+
+    def test_failure_free_r3(self):
+        job = self._job().launch(exchange)
+        res = job.run()
+        assert len(res.app_results) == 6
+        _check(job, res)
+
+    def test_single_crash_r3(self):
+        job = self._job().launch(exchange)
+        job.crash(1, 1, at=40e-6)
+        res = job.run()
+        assert len(res.app_results) == 5
+        _check(job, res)
+
+    def test_double_crash_same_rank_r3(self):
+        """Two of the three replicas of rank 1 die; the last one carries
+        both bereaved worlds."""
+        job = self._job().launch(exchange)
+        job.crash(1, 1, at=40e-6)
+        job.crash(1, 2, at=90e-6)
+        res = job.run()
+        assert len(res.app_results) == 4
+        _check(job, res)
+
+    def test_double_crash_substitute_dies_r3(self):
+        """The elected substitute itself dies: re-election must hand its
+        adopted duties (and the original victim's) to the next survivor."""
+        job = self._job().launch(exchange)
+        job.crash(1, 0, at=40e-6)  # replica 0 dies -> rep 1 elected
+        job.crash(1, 1, at=90e-6)  # the substitute dies -> rep 2 takes both
+        res = job.run()
+        assert len(res.app_results) == 4
+        _check(job, res)
+        survivor = job.protocols[job.rmap.phys(1, 2)]
+        assert survivor.substitute == {0: 2, 1: 2, 2: 2}
+
+    def test_crashes_across_ranks_r3(self):
+        job = self._job().launch(exchange)
+        job.crash(0, 2, at=30e-6)
+        job.crash(1, 0, at=60e-6)
+        job.crash(0, 1, at=100e-6)
+        res = job.run()
+        assert len(res.app_results) == 3
+        _check(job, res)
+
+    def test_mirror_r3_with_crashes(self):
+        cfg = ReplicationConfig(degree=3, protocol="mirror")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 3, cores_per_node=1))
+        job.launch(exchange)
+        job.crash(1, 0, at=40e-6)
+        job.crash(0, 2, at=80e-6)
+        res = job.run()
+        _check(job, res)
+
+
+class TestCrashAfterRecovery:
+    def test_recovered_replica_becomes_substitute(self):
+        """Crash p¹₁ → respawn it → crash p⁰₁ (the original survivor).
+
+        The respawned replica must now act as substitute using its cloned
+        protocol state: retention, sequence cursors, the lot.  This is the
+        strongest end-to-end check of §3.4's state transfer."""
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2, cores_per_node=1))
+        job.launch(exchange)
+        manager = RecoveryManager(job)
+        job.crash(1, 1, at=40e-6)
+        job.sim.call_at(60e-6, lambda: manager.request_respawn(1))
+        job.crash(1, 0, at=150e-6)  # later, the original survivor dies
+        res = job.run()
+        assert manager.respawns_done == [job.rmap.phys(1, 1)]
+        # rank 1 is carried solely by the respawned replica at the end
+        _check(job, res)
+        assert job.rmap.phys(1, 1) in res.app_results
+
+    def test_two_sequential_recoveries(self):
+        """Crash/respawn the same rank twice."""
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2, cores_per_node=1))
+        job.launch(exchange, iters=120)
+        manager = RecoveryManager(job)
+        job.crash(1, 1, at=40e-6)
+        job.sim.call_at(60e-6, lambda: manager.request_respawn(1))
+
+        def second_round():
+            job.crash(1, 1, at=job.sim.now)  # kill the respawned one too
+            job.sim.call_at(job.sim.now + 30e-6, lambda: manager.request_respawn(1))
+
+        job.sim.call_at(200e-6, second_round)
+        res = job.run()
+        assert len(manager.respawns_done) == 2
+        _check(job, res, iters=120)
+
+    def test_recovery_of_different_ranks(self):
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2, cores_per_node=1))
+        job.launch(exchange)
+        manager = RecoveryManager(job)
+        job.crash(1, 1, at=40e-6)
+        job.crash(0, 0, at=50e-6)
+        job.sim.call_at(70e-6, lambda: manager.request_respawn(1))
+        job.sim.call_at(80e-6, lambda: manager.request_respawn(0))
+        res = job.run()
+        assert sorted(manager.respawns_done) == [job.rmap.phys(0, 0), job.rmap.phys(1, 1)]
+        assert len(res.app_results) == 4
+        _check(job, res)
+
+
+class TestCollectivesUnderRepeatedFailure:
+    def test_allreduce_app_with_r3_and_crashes(self):
+        def app(mpi, iters=40):
+            acc = 0.0
+            for it in range(iters):
+                acc = yield from mpi.allreduce(float(mpi.rank + it), op="sum")
+                yield from mpi.compute(1e-6)
+            return acc
+
+        cfg = ReplicationConfig(degree=3, protocol="sdr")
+        job = Job(4, cfg=cfg, cluster=cluster_for(4, 3))
+        job.launch(app)
+        job.crash(0, 1, at=50e-6)
+        job.crash(2, 2, at=120e-6)
+        res = job.run()
+        want = sum(r + 39 for r in range(4))
+        assert all(v == want for v in res.app_results.values())

@@ -1,0 +1,143 @@
+"""CLI entry points and miscellaneous edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.runner import Job, cluster_for
+from tests.conftest import run_app
+
+
+class TestCli:
+    def test_fig7_subcommand(self, capsys):
+        assert main(["fig7", "--sizes", "1", "1024", "--iters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7a" in out and "Fig. 7b" in out
+        assert "1.67" in out  # native 1-byte anchor
+
+    def test_determinism_positive(self, capsys):
+        assert main(["determinism", "--app", "cg", "--ranks", "4", "--replays", "2"]) == 0
+        assert "send-deterministic" in capsys.readouterr().out
+
+    def test_determinism_negative_control(self, capsys):
+        assert main(["determinism", "--app", "master_worker"]) == 0
+        assert "NOT send-deterministic" in capsys.readouterr().out
+
+    def test_determinism_unknown_app(self):
+        assert main(["determinism", "--app", "nonexistent"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestComputeNoise:
+    def test_noise_stretches_compute(self):
+        def app(mpi):
+            yield from mpi.compute(1e-3)
+            return mpi.wtime()
+
+        quiet = Job(1, cluster=cluster_for(1)).launch(app).run().runtime
+        noisy = Job(1, cluster=cluster_for(1, compute_noise=0.5), seed=3).launch(app).run().runtime
+        assert quiet == pytest.approx(1e-3)
+        assert noisy != quiet
+
+    def test_replica_zero_shares_native_noise_stream(self):
+        """rep 0's noise equals the native run's — fair A/B comparisons."""
+        from repro.core.config import ReplicationConfig
+
+        def app(mpi):
+            yield from mpi.compute(1e-3)
+            return mpi.wtime()
+
+        cluster_n = cluster_for(2, 1, compute_noise=0.3)
+        native = Job(2, cluster=cluster_n, seed=7).launch(app).run()
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        cluster_r = cluster_for(2, 2, compute_noise=0.3)
+        repl = Job(2, cfg=cfg, cluster=cluster_r, seed=7).launch(app).run()
+        assert repl.app_results[0] == native.app_results[0]  # same draw
+        assert repl.app_results[2] != native.app_results[0]  # rep 1 differs
+
+    def test_negative_compute_rejected(self):
+        def app(mpi):
+            yield from mpi.compute(-1.0)
+
+        with pytest.raises(Exception):
+            run_app(app, 1)
+
+
+class TestMiscEdges:
+    def test_single_rank_collectives(self):
+        def app(mpi):
+            a = yield from mpi.allreduce(5.0, op="sum")
+            b = yield from mpi.bcast(7.0, root=0)
+            g = yield from mpi.allgather(9)
+            yield from mpi.barrier()
+            return a, b, g
+
+        assert run_app(app, 1).app_results[0] == (5.0, 7.0, [9])
+
+    def test_send_to_invalid_rank_rejected(self):
+        def app(mpi):
+            yield from mpi.send(np.ones(1), dest=99, tag=0)
+
+        with pytest.raises(Exception):
+            run_app(app, 2)
+
+    def test_recv_from_invalid_rank_rejected(self):
+        def app(mpi):
+            yield from mpi.recv(source=99, tag=0)
+
+        with pytest.raises(Exception):
+            run_app(app, 2)
+
+    def test_fread_before_any_write_is_empty(self):
+        def app(mpi):
+            log = yield from mpi.fread("nothing.dat")
+            return log
+
+        assert run_app(app, 1).app_results[0] == []
+
+    def test_zero_byte_payload(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(b"", dest=1, tag=1)
+            else:
+                data, st = yield from mpi.recv(source=0, tag=1)
+                return st.nbytes
+
+        assert run_app(app, 2).app_results[1] == 0
+
+    def test_wtime_monotone(self):
+        def app(mpi):
+            t0 = mpi.wtime()
+            yield from mpi.compute(1e-6)
+            t1 = mpi.wtime()
+            yield from mpi.barrier()
+            t2 = mpi.wtime()
+            return t0 <= t1 <= t2
+
+        assert all(run_app(app, 3).app_results.values())
+
+    def test_large_tag_values(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.ones(1), dest=1, tag=2**30)
+            else:
+                _, st = yield from mpi.recv(source=0, tag=2**30)
+                return st.tag
+
+        assert run_app(app, 2).app_results[1] == 2**30
+
+    def test_stats_surface_complete(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.ones(1), dest=1, tag=1)
+            else:
+                yield from mpi.recv(source=0, tag=1)
+
+        res = run_app(app, 2, protocol="sdr")
+        sample = res.stats[0]
+        for key in ("app_sends", "app_recvs", "unexpected_count", "acks_sent",
+                    "duplicates_dropped", "retained", "resends"):
+            assert key in sample

@@ -1,0 +1,166 @@
+"""Harness: runner wiring, metrics, report rendering, experiment entries."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.harness.experiments import SCALES, Scale, app_overhead, fig7, nas_overhead
+from repro.harness.metrics import RunStats, overhead_pct, summarize
+from repro.harness.report import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    overhead_row,
+    render_series,
+    render_table,
+)
+from repro.harness.runner import Job, cluster_for
+
+TINY = Scale("tiny", n_ranks=4, nas_class="S", nas_iter_cap=2,
+             hpccg_iters=3, cm1_steps=2, netpipe_iters=3, noise=0.05)
+
+
+class TestRunner:
+    def test_native_job_has_n_processes(self):
+        job = Job(4)
+        assert len(job.processes) == 0  # before launch
+        job.launch(lambda mpi: iter(()))
+        assert len(job.processes) == 4
+
+    def test_replicated_job_has_rn_processes(self):
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(4, cfg=cfg, cluster=cluster_for(4, 2))
+        job.launch(lambda mpi: iter(()))
+        assert len(job.processes) == 8
+
+    def test_result_runtime_is_latest_finish(self):
+        def app(mpi):
+            yield from mpi.compute((mpi.rank + 1) * 1e-3)
+            return mpi.rank
+
+        res = Job(3, cluster=cluster_for(3)).launch(app).run()
+        assert res.runtime == pytest.approx(3e-3)
+        assert res.app_results == {0: 0, 1: 1, 2: 2}
+
+    def test_app_exception_propagates(self):
+        def app(mpi):
+            yield from mpi.compute(1e-6)
+            raise ValueError("app bug")
+
+        job = Job(2, cluster=cluster_for(2)).launch(app)
+        with pytest.raises(Exception) as err:
+            job.run()
+        assert "app bug" in str(err.value)
+
+    def test_seed_changes_noise_realization(self):
+        def app(mpi):
+            yield from mpi.compute(1e-3)
+            return mpi.wtime()
+
+        cluster = cluster_for(2, 1, compute_noise=0.2)
+        a = Job(2, cluster=cluster, seed=1).launch(app).run().runtime
+        b = Job(2, cluster=cluster, seed=2).launch(app).run().runtime
+        c = Job(2, cluster=cluster, seed=1).launch(app).run().runtime
+        assert a != b
+        assert a == c  # same seed reproduces exactly
+
+    def test_identical_jobs_bit_identical(self):
+        from repro.apps.nas.cg import cg_rank
+
+        def run_once():
+            cfg = ReplicationConfig(degree=2, protocol="sdr")
+            job = Job(4, cfg=cfg, cluster=cluster_for(4, 2))
+            res = job.launch(cg_rank, klass="S", iters=2).run()
+            return res.runtime, res.events
+
+        assert run_once() == run_once()
+
+    def test_stat_total_sums_over_processes(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.ones(1), dest=1, tag=1)
+            else:
+                yield from mpi.recv(source=0, tag=1)
+
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        res = Job(2, cfg=cfg, cluster=cluster_for(2, 2)).launch(app).run()
+        assert res.stat_total("app_sends") == 2  # one logical send per world
+
+
+class TestMetrics:
+    def test_overhead_pct(self):
+        assert overhead_pct(100.0, 105.0) == pytest.approx(5.0)
+
+    def test_overhead_requires_positive_native(self):
+        with pytest.raises(ValueError):
+            overhead_pct(0.0, 1.0)
+
+    def test_runstats(self):
+        s = RunStats.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0 and s.minimum == 1.0 and s.maximum == 3.0 and s.n == 3
+        assert s.std == pytest.approx(1.0)
+
+    def test_runstats_single_sample(self):
+        assert RunStats.of([5.0]).std == 0.0
+
+    def test_runstats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunStats.of([])
+
+    def test_summarize_runs_per_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return float(seed)
+
+        s = summarize(run, repetitions=3)
+        assert seen == [0, 1, 2]
+        assert s.mean == 1.0
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title, header, rule, two rows
+        assert "333" in lines[4]
+
+    def test_overhead_row_with_paper_reference(self):
+        row = overhead_row("CG", 100.0, 104.92, PAPER_TABLE1["CG"])
+        assert row[0] == "CG"
+        assert row[3] == "4.92"
+        assert row[-1] == "4.92"
+
+    def test_render_series(self):
+        out = render_series("S", "x", {"a": {1: 0.5, 2: 1.5}, "b": {1: 2.0}})
+        assert "nan" in out  # missing point rendered as nan
+        assert "0.5" in out
+
+    def test_paper_constants_match_the_paper(self):
+        assert PAPER_TABLE1["CG"] == (210.37, 220.71, 4.92)
+        assert PAPER_TABLE2["HPCCG"][2] == 0.002
+
+
+class TestExperiments:
+    def test_scales_registry(self):
+        assert set(SCALES) >= {"quick", "small", "paper"}
+        assert SCALES["paper"].n_ranks == 256
+        assert SCALES["paper"].nas_class == "D"
+        assert SCALES["paper"].nas_iter_cap is None
+
+    def test_nas_overhead_entry(self):
+        r = nas_overhead("MG", TINY)
+        assert r["native_s"] > 0
+        assert -2.0 < r["overhead_pct"] < 25.0
+        assert r["acks"] > 0
+
+    def test_app_overhead_entry(self):
+        r = app_overhead("HPCCG", TINY)
+        assert r["native_s"] > 0
+        assert r["acks"] > 0
+
+    def test_fig7_sweep_entry(self):
+        out = fig7(sizes=(1, 1024), iters=3)
+        assert set(out) == {"native", "sdr"}
+        assert out["sdr"][1]["latency_s"] > out["native"][1]["latency_s"]

@@ -1,0 +1,195 @@
+"""Replicated file I/O (§4.1's planned integration) + ssend/waitsome."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.io import ReplicatedIo, VirtualFileSystem
+from repro.harness.runner import Job, cluster_for
+from tests.conftest import run_app
+
+
+class TestReplicatedIo:
+    def _writer_app(self, payload_fn=None):
+        def app(mpi, steps=3):
+            for step in range(steps):
+                data = payload_fn(mpi, step) if payload_fn else np.full(4, float(step))
+                yield from mpi.fwrite("out.dat", data)
+                yield from mpi.compute(1e-6)
+            # writers pay PFS latency, suppressed replicas do not: sync
+            # before reading the shared output (as a real app would)
+            yield from mpi.barrier()
+            log = yield from mpi.fread("out.dat")
+            return len(log)
+
+        return app
+
+    def test_native_every_rank_writes(self):
+        job = Job(3, cluster=cluster_for(3)).launch(self._writer_app(), steps=2)
+        res = job.run()
+        assert job.vfs.physical_writes == 6  # 3 ranks x 2 writes
+
+    def test_replicated_single_physical_write_per_logical_write(self):
+        """The Böhm/Engelmann property: replication must not double output."""
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(3, cfg=cfg, cluster=cluster_for(3, 2)).launch(self._writer_app(), steps=2)
+        res = job.run()
+        assert job.vfs.physical_writes == 6  # not 12
+        assert job.vfs.suppressed_writes == 6
+        assert job.vfs.divergences == []
+        # every replica reads the same log
+        assert set(res.app_results.values()) == {6}
+
+    def test_file_contents_match_native(self):
+        def payload(mpi, step):
+            return np.array([float(mpi.rank * 10 + step)])
+
+        native = Job(2, cluster=cluster_for(2)).launch(self._writer_app(payload), steps=2)
+        nres = native.run()
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        repl = Job(2, cfg=cfg, cluster=cluster_for(2, 2)).launch(self._writer_app(payload), steps=2)
+        rres = repl.run()
+        strip = lambda log: sorted((r, float(d[0])) for r, d in log)
+        assert strip(native.vfs.read("out.dat")) == strip(repl.vfs.read("out.dat"))
+
+    def test_writer_promotion_after_crash(self):
+        """Crash the leader replica mid-run: the survivor keeps writing."""
+
+        def app(mpi, steps=40):
+            for step in range(steps):
+                yield from mpi.fwrite("log.dat", np.array([float(step)]))
+                right = (mpi.rank + 1) % mpi.size
+                left = (mpi.rank - 1) % mpi.size
+                yield from mpi.sendrecv(np.ones(1), dest=right, source=left)
+                yield from mpi.compute(1e-6)
+            return steps
+
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2)).launch(app)
+        job.crash(1, 0, at=60e-6)  # kill rank 1's replica 0 — the writer!
+        res = job.run()
+        # every one of rank 1's 40 logical writes made it to the file
+        rank1_writes = [d for r, d in job.vfs.read("log.dat") if r == 1]
+        assert len(rank1_writes) == 40
+
+    def test_divergence_detected_in_compare_mode(self):
+        def app(mpi, steps=2):
+            for step in range(steps):
+                # replicas of rank 0 disagree on purpose at step 1
+                if mpi.rank == 0 and step == 1:
+                    value = float(mpi.proc)  # physical id differs per replica!
+                else:
+                    value = float(step)
+                yield from mpi.fwrite("x.dat", np.array([value]))
+                yield from mpi.compute(1e-6)
+
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2)).launch(app)
+        job.run()
+        assert len(job.vfs.divergences) == 1
+        div = job.vfs.divergences[0]
+        assert div.rank == 0 and div.op_seq == 2
+
+    def test_leader_mode_skips_comparison(self):
+        cfg = ReplicationConfig(degree=2, protocol="sdr")
+        job = Job(2, cfg=cfg, cluster=cluster_for(2, 2))
+        for proc, mpi in job.mpis.items():
+            mpi.io = ReplicatedIo(job.vfs, job.protocols[proc], mode="leader")
+
+        def app(mpi):
+            yield from mpi.fwrite("y.dat", np.array([float(mpi.proc)]))  # divergent!
+
+        job.launch(app).run()
+        assert job.vfs.divergences == []  # not checked in leader mode
+        assert job.vfs.physical_writes == 2  # one per rank
+
+    def test_unknown_mode_rejected(self):
+        vfs = VirtualFileSystem(sim=None)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            ReplicatedIo(vfs, protocol=None, mode="quorum")
+
+    def test_write_costs_virtual_time(self):
+        def app(mpi):
+            t0 = mpi.wtime()
+            yield from mpi.fwrite("big.dat", np.zeros(1_000_000 // 8))
+            return mpi.wtime() - t0
+
+        job = Job(1, cluster=cluster_for(1)).launch(app)
+        res = job.run()
+        # 1 MB at 1 GB/s + 50 us latency ~ 1.05 ms
+        assert res.app_results[0] == pytest.approx(1.05e-3, rel=0.05)
+
+
+class TestSsend:
+    def test_ssend_blocks_until_receive_posted(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.ssend(np.ones(1), dest=1, tag=1)
+                return mpi.wtime() - t0
+            yield from mpi.compute(100e-6)  # receive posted late
+            yield from mpi.recv(source=0, tag=1)
+
+        res = run_app(app, 2)
+        assert res.app_results[0] >= 100e-6  # gated on the matching receive
+
+    def test_plain_send_does_not_block(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.send(np.ones(1), dest=1, tag=1)
+                return mpi.wtime() - t0
+            yield from mpi.compute(100e-6)
+            yield from mpi.recv(source=0, tag=1)
+
+        res = run_app(app, 2)
+        assert res.app_results[0] < 50e-6
+
+    def test_ssend_under_replication(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.ssend(np.array([3.0]), dest=1, tag=1)
+            else:
+                d, _ = yield from mpi.recv(source=0, tag=1)
+                return float(d[0])
+
+        res = run_app(app, 2, protocol="sdr")
+        assert res.app_results[1] == 3.0
+        assert res.app_results[3] == 3.0
+
+    def test_issend_nonblocking_until_wait(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                h = yield from mpi.issend(np.ones(1), dest=1, tag=1)
+                assert not h.done  # no receive posted yet
+                yield from mpi.wait(h)
+                return True
+            yield from mpi.recv(source=0, tag=1)
+
+        assert run_app(app, 2).app_results[0] is True
+
+
+class TestWaitsome:
+    def test_returns_all_completed(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                h1 = yield from mpi.irecv(source=1, tag=1)
+                h2 = yield from mpi.irecv(source=2, tag=1)
+                h3 = yield from mpi.irecv(source=3, tag=1)
+                done = yield from mpi.waitsome([h1, h2, h3])
+                yield from mpi.waitall([h1, h2, h3])
+                return sorted(i for i, _st in done)
+            yield from mpi.compute((mpi.rank - 1) * 1e-9)
+            yield from mpi.send(np.ones(1), dest=0, tag=1)
+
+        res = run_app(app, 4)
+        done = res.app_results[0]
+        assert len(done) >= 1
+        assert all(0 <= i < 3 for i in done)
+
+    def test_empty_rejected(self):
+        def app(mpi):
+            yield from mpi.waitsome([])
+
+        with pytest.raises(Exception):
+            run_app(app, 1)

@@ -1,0 +1,163 @@
+"""Groups and communicators, including the genealogy context-id scheme."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.errors import RankError
+from repro.mpi.group import Group, UNDEFINED
+from tests.conftest import run_app
+
+
+class TestGroup:
+    def test_duplicates_rejected(self):
+        with pytest.raises(RankError):
+            Group([1, 1])
+
+    def test_incl_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([2, 0]).members == (30, 10)
+        assert g.excl([1, 3]).members == (10, 30)
+
+    def test_incl_out_of_range(self):
+        with pytest.raises(RankError):
+            Group([1, 2]).incl([5])
+
+    def test_range_incl(self):
+        g = Group(list(range(10, 20)))
+        assert g.range_incl([(0, 6, 2)]).members == (10, 12, 14, 16)
+
+    def test_union_keeps_first_order(self):
+        a, b = Group([3, 1]), Group([2, 1, 4])
+        assert a.union(b).members == (3, 1, 2, 4)
+
+    def test_intersection_difference(self):
+        a, b = Group([5, 6, 7, 8]), Group([8, 6])
+        assert a.intersection(b).members == (6, 8)
+        assert a.difference(b).members == (5, 7)
+
+    def test_translate_ranks(self):
+        a, b = Group([10, 20, 30]), Group([30, 10])
+        assert a.translate_ranks([0, 1, 2], b) == [1, UNDEFINED, 0]
+
+    def test_rank_of(self):
+        g = Group([7, 9])
+        assert g.rank_of(9) == 1
+        assert g.rank_of(8) is None
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 30), unique=True, min_size=1, max_size=10),
+           st.lists(st.integers(0, 30), unique=True, min_size=1, max_size=10))
+    def test_property_set_semantics(self, xs, ys):
+        a, b = Group(xs), Group(ys)
+        assert set(a.union(b).members) == set(xs) | set(ys)
+        assert set(a.intersection(b).members) == set(xs) & set(ys)
+        assert set(a.difference(b).members) == set(xs) - set(ys)
+        # order: union starts with a's members
+        assert a.union(b).members[: len(xs)] == tuple(xs)
+
+
+class TestCommunicator:
+    def test_world_basics(self):
+        def app(mpi):
+            yield from mpi.barrier()
+            return mpi.world.rank, mpi.world.size, mpi.world.world_of(1)
+
+        res = run_app(app, 3)
+        assert res.app_results[2] == (2, 3, 1)
+
+    def test_dup_isolates_traffic(self):
+        import numpy as np
+
+        def app(mpi):
+            dup = yield from mpi.comm_dup()
+            if mpi.rank == 0:
+                yield from mpi.send(np.array([1.0]), dest=1, tag=7, comm=mpi.world)
+                yield from mpi.send(np.array([2.0]), dest=1, tag=7, comm=dup)
+            elif mpi.rank == 1:
+                # receive from the dup first: matching must not cross comms
+                d2, _ = yield from mpi.recv(source=0, tag=7, comm=dup)
+                d1, _ = yield from mpi.recv(source=0, tag=7, comm=mpi.world)
+                return float(d1[0]), float(d2[0])
+
+        assert run_app(app, 2).app_results[1] == (1.0, 2.0)
+
+    def test_split_by_parity(self):
+        def app(mpi):
+            sub = yield from mpi.comm_split(color=mpi.rank % 2, key=mpi.rank)
+            total = yield from mpi.allreduce(float(mpi.rank), op="sum", comm=sub)
+            return sub.rank, sub.size, total
+
+        res = run_app(app, 6)
+        evens = sum(r for r in range(6) if r % 2 == 0)
+        odds = sum(r for r in range(6) if r % 2 == 1)
+        for r in range(6):
+            subrank, subsize, total = res.app_results[r]
+            assert subsize == 3
+            assert subrank == r // 2
+            assert total == (evens if r % 2 == 0 else odds)
+
+    def test_split_key_reorders(self):
+        def app(mpi):
+            sub = yield from mpi.comm_split(color=0, key=-mpi.rank)
+            return sub.rank
+
+        res = run_app(app, 4)
+        # key = -rank reverses the order
+        assert [res.app_results[r] for r in range(4)] == [3, 2, 1, 0]
+
+    def test_split_undefined_returns_none(self):
+        from repro.mpi.group import UNDEFINED as U
+
+        def app(mpi):
+            sub = yield from mpi.comm_split(color=U if mpi.rank == 0 else 1, key=0)
+            return sub is None
+
+        res = run_app(app, 3)
+        assert res.app_results[0] is True
+        assert res.app_results[1] is False
+
+    def test_comm_create_from_group(self):
+        def app(mpi):
+            group = mpi.world.group.incl([0, 2])
+            sub = yield from mpi.comm_create(group)
+            if sub is None:
+                return None
+            val = yield from mpi.allreduce(float(mpi.rank), op="sum", comm=sub)
+            return sub.rank, val
+
+        res = run_app(app, 4)
+        assert res.app_results[0] == (0, 2.0)
+        assert res.app_results[2] == (1, 2.0)
+        assert res.app_results[1] is None
+
+    def test_nested_split_contexts_unique(self):
+        def app(mpi):
+            a = yield from mpi.comm_split(color=0, key=mpi.rank)
+            b = yield from mpi.comm_split(color=0, key=mpi.rank, comm=a)
+            return a.ctx != b.ctx != mpi.world.ctx
+
+        assert all(run_app(app, 4).app_results.values())
+
+    def test_split_contexts_identical_across_replica_worlds(self):
+        """The genealogy ctx scheme: both replica worlds derive the same
+        context tuples, the property cross-world failover matching needs."""
+
+        def app(mpi):
+            sub = yield from mpi.comm_split(color=mpi.rank % 2, key=mpi.rank)
+            return sub.ctx
+
+        res = run_app(app, 4, protocol="sdr")
+        for rank in range(4):
+            ctx0 = res.app_results[rank]
+            ctx1 = res.app_results[rank + 4]
+            assert ctx0 == ctx1
+
+    def test_collectives_on_subcommunicator(self):
+        def app(mpi):
+            row = yield from mpi.comm_split(color=mpi.rank // 2, key=mpi.rank)
+            got = yield from mpi.allgather(mpi.rank, comm=row)
+            return got
+
+        res = run_app(app, 4)
+        assert res.app_results[0] == [0, 1]
+        assert res.app_results[3] == [2, 3]

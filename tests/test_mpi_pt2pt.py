@@ -1,0 +1,234 @@
+"""Integration tests for point-to-point semantics through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import DeadlockError, TruncationError
+from tests.conftest import run_app
+
+
+class TestBlocking:
+    def test_send_recv_delivers_payload(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.arange(4.0), dest=1, tag=3)
+            else:
+                data, st = yield from mpi.recv(source=0, tag=3)
+                assert np.array_equal(data, np.arange(4.0))
+                assert st.source == 0 and st.tag == 3 and st.nbytes == 32
+                return float(data.sum())
+
+        res = run_app(app, 2)
+        assert res.app_results[1] == 6.0
+
+    def test_send_buffer_snapshot_semantics(self):
+        """Payload is captured at send time; later mutation must not leak."""
+
+        def app(mpi):
+            if mpi.rank == 0:
+                buf = np.ones(4)
+                h = yield from mpi.isend(buf, dest=1, tag=0)
+                buf[:] = 999.0
+                yield from mpi.wait(h)
+            else:
+                data, _ = yield from mpi.recv(source=0, tag=0)
+                return float(data[0])
+
+        assert run_app(app, 2).app_results[1] == 1.0
+
+    def test_messages_nonovertaking_same_channel(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                for i in range(10):
+                    yield from mpi.send(np.array([float(i)]), dest=1, tag=5)
+            else:
+                got = []
+                for _ in range(10):
+                    data, _ = yield from mpi.recv(source=0, tag=5)
+                    got.append(float(data[0]))
+                return got
+
+        assert run_app(app, 2).app_results[1] == [float(i) for i in range(10)]
+
+    def test_tags_demultiplex(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.array([1.0]), dest=1, tag=1)
+                yield from mpi.send(np.array([2.0]), dest=1, tag=2)
+            else:
+                # receive in reverse tag order: matching must pick correctly
+                d2, _ = yield from mpi.recv(source=0, tag=2)
+                d1, _ = yield from mpi.recv(source=0, tag=1)
+                return float(d1[0]), float(d2[0])
+
+        assert run_app(app, 2).app_results[1] == (1.0, 2.0)
+
+    def test_any_source_resolves_actual_sender(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                sources = set()
+                for _ in range(mpi.size - 1):
+                    _, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=9)
+                    sources.add(st.source)
+                return sorted(sources)
+            yield from mpi.send(np.array([1.0]), dest=0, tag=9)
+
+        assert run_app(app, 4).app_results[0] == [1, 2, 3]
+
+    def test_sendrecv_is_deadlock_free_in_a_cycle(self):
+        def app(mpi):
+            right = (mpi.rank + 1) % mpi.size
+            left = (mpi.rank - 1) % mpi.size
+            data, _ = yield from mpi.sendrecv(
+                np.array([float(mpi.rank)]), dest=right, source=left, sendtag=1, recvtag=1
+            )
+            return float(data[0])
+
+        res = run_app(app, 6)
+        for r in range(6):
+            assert res.app_results[r] == float((r - 1) % 6)
+
+    def test_self_send(self):
+        def app(mpi):
+            h = yield from mpi.isend(np.array([7.0]), dest=mpi.rank, tag=0)
+            data, _ = yield from mpi.recv(source=mpi.rank, tag=0)
+            yield from mpi.wait(h)
+            return float(data[0])
+
+        assert run_app(app, 2).app_results[0] == 7.0
+
+
+class TestNonblocking:
+    def test_irecv_before_send_completes(self):
+        def app(mpi):
+            if mpi.rank == 1:
+                h = yield from mpi.irecv(source=0, tag=2)
+                assert not h.done
+                ok = yield from mpi.test(h)
+                yield from mpi.wait(h)
+                return float(h.data[0])
+            yield from mpi.compute(10e-6)
+            yield from mpi.send(np.array([3.0]), dest=1, tag=2)
+
+        assert run_app(app, 2).app_results[1] == 3.0
+
+    def test_waitany_returns_first_completion(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                fast = yield from mpi.irecv(source=1, tag=1)
+                slow = yield from mpi.irecv(source=2, tag=1)
+                idx, st = yield from mpi.waitany([slow, fast])
+                yield from mpi.waitall([slow, fast])
+                return idx
+            elif mpi.rank == 1:
+                yield from mpi.send(np.array([1.0]), dest=0, tag=1)
+            else:
+                yield from mpi.compute(100e-6)
+                yield from mpi.send(np.array([2.0]), dest=0, tag=1)
+
+        assert run_app(app, 3).app_results[0] == 1  # rank 1's message wins
+
+    def test_test_does_not_block(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                h = yield from mpi.irecv(source=1, tag=1)
+                polls = 0
+                while not (yield from mpi.test(h)):
+                    polls += 1
+                    yield from mpi.compute(1e-6)
+                return polls
+            yield from mpi.compute(20e-6)
+            yield from mpi.send(np.array([1.0]), dest=0, tag=1)
+
+        assert run_app(app, 2).app_results[0] >= 5
+
+    def test_probe_reports_without_consuming(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                st = yield from mpi.probe(source=mpi.ANY_SOURCE, tag=4)
+                data, st2 = yield from mpi.recv(source=st.source, tag=4)
+                return st.source, st.nbytes, float(data[0])
+            yield from mpi.send(np.array([8.0]), dest=0, tag=4)
+
+        assert run_app(app, 2).app_results[0] == (1, 8, 8.0)
+
+    def test_iprobe_misses_then_hits(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                first = yield from mpi.iprobe(source=1, tag=6)
+                yield from mpi.compute(50e-6)
+                second = yield from mpi.iprobe(source=1, tag=6)
+                yield from mpi.recv(source=1, tag=6)
+                return first is None, second is not None
+            yield from mpi.send(np.array([1.0]), dest=0, tag=6)
+
+        assert run_app(app, 2).app_results[0] == (True, True)
+
+
+class TestRendezvous:
+    def test_large_message_roundtrip(self):
+        def app(mpi, nbytes=256 * 1024):
+            if mpi.rank == 0:
+                data = np.arange(nbytes // 8, dtype=np.float64)
+                yield from mpi.send(data, dest=1, tag=1)
+            else:
+                data, st = yield from mpi.recv(source=0, tag=1)
+                assert st.nbytes == nbytes
+                return float(data[-1])
+
+        n = 256 * 1024
+        assert run_app(app, 2).app_results[1] == float(n // 8 - 1)
+
+    def test_rendezvous_slower_than_eager_per_byte_latency(self):
+        """An RTS/CTS round trip shows up for > eager_limit messages."""
+
+        def app(mpi, nbytes=8):
+            t0 = mpi.wtime()
+            if mpi.rank == 0:
+                yield from mpi.send(np.zeros(nbytes // 8), dest=1, tag=1)
+                yield from mpi.recv(source=1, tag=2)
+            else:
+                yield from mpi.recv(source=0, tag=1)
+                yield from mpi.send(np.zeros(1), dest=0, tag=2)
+            return mpi.wtime() - t0
+
+        from repro.harness.runner import cluster_for
+
+        inter = cluster_for(2, 1, cores_per_node=1)  # force the IB path
+        small = run_app(app, 2, cluster=inter, nbytes=1024).app_results[0]
+        big = run_app(app, 2, cluster=inter, nbytes=64 * 1024).app_results[0]
+        # 64 KiB at 2.5 GB/s is ~26 us of serialization plus the RTS/CTS trip
+        assert big > small + 20e-6
+
+    def test_truncation_detected(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.zeros(16), dest=1, tag=1)
+            else:
+                buf = np.zeros(4)
+                yield from mpi.recv(source=0, tag=1, buf=buf)
+
+        with pytest.raises(TruncationError):
+            run_app(app, 2)
+
+
+class TestDeadlockDetection:
+    def test_recv_without_sender_is_reported(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.recv(source=1, tag=1)
+
+        with pytest.raises(DeadlockError) as err:
+            run_app(app, 2)
+        assert "p0" in str(err.value)
+
+    def test_mismatched_tags_deadlock(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.zeros(1), dest=1, tag=1)
+                yield from mpi.recv(source=1, tag=1)
+            else:
+                yield from mpi.recv(source=0, tag=2)  # wrong tag
+
+        with pytest.raises(DeadlockError):
+            run_app(app, 2)

@@ -1,0 +1,160 @@
+"""Partial replication (§5 research direction; MR-MPI's headline feature).
+
+Only a subset of ranks gets a replica.  An absent replica behaves exactly
+like a replica that failed before t=0: its substitute (the sole copy)
+carries both worlds' sending duties from the start, receivers of the
+unreplicated rank's messages get them mirror-style, and sends *toward*
+the unreplicated rank from world-1 peers are covered by the world-0 copy
+plus the usual acks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.harness.runner import Job, cluster_for
+from tests.conftest import run_app
+
+
+def _job(replicated, n_ranks=4, protocol="sdr"):
+    cfg = ReplicationConfig(degree=2, protocol=protocol, replicated_ranks=frozenset(replicated))
+    return Job(n_ranks, cfg=cfg, cluster=cluster_for(n_ranks, 2))
+
+
+def ring_all(mpi, iters=15):
+    total = 0.0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for it in range(iters):
+        got, _ = yield from mpi.sendrecv(
+            np.array([float(mpi.rank + it)]), dest=right, source=left, sendtag=1, recvtag=1
+        )
+        total += float(got[0])
+        yield from mpi.compute(1e-6)
+    s = yield from mpi.allreduce(total, op="sum")
+    return s
+
+
+class TestConfig:
+    def test_replicated_ranks_normalized(self):
+        cfg = ReplicationConfig(degree=2, protocol="sdr", replicated_ranks={1, 2})
+        assert cfg.replicated_ranks == frozenset({1, 2})
+        assert cfg.rank_is_replicated(1)
+        assert not cfg.rank_is_replicated(0)
+
+    def test_full_replication_by_default(self):
+        assert ReplicationConfig().rank_is_replicated(99)
+
+    def test_native_cannot_be_partial(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(degree=1, protocol="native", replicated_ranks={0})
+
+    def test_negative_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(degree=2, protocol="sdr", replicated_ranks={-1})
+
+
+class TestExecution:
+    def test_absent_replicas_not_launched(self):
+        job = _job(replicated={0, 2}).launch(ring_all)
+        # ranks 1 and 3 are unreplicated: procs 5 and 7 do not exist
+        assert job.absent == {job.rmap.phys(1, 1), job.rmap.phys(3, 1)}
+        assert set(job.processes) == set(range(8)) - {5, 7}
+
+    def test_partial_run_produces_correct_results(self):
+        job = _job(replicated={0, 2}).launch(ring_all)
+        res = job.run()
+        full = run_app(ring_all, 4)
+        want = full.app_results[0]
+        for proc, val in res.app_results.items():
+            assert val == want
+
+    def test_replicated_and_sole_copies_agree(self):
+        job = _job(replicated={1}).launch(ring_all)
+        res = job.run()
+        # rank 1's two replicas both finish with identical results
+        assert res.app_results[1] == res.app_results[5]
+
+    def test_nobody_replicated_degenerates_to_single_copies(self):
+        job = _job(replicated=set()).launch(ring_all)
+        res = job.run()
+        assert len(res.app_results) == 4
+        want = run_app(ring_all, 4).app_results[0]
+        assert all(v == want for v in res.app_results.values())
+
+    def test_sole_copy_feeds_both_worlds(self):
+        """The unreplicated rank's single process must supply world-1's
+        replicas too (mirror-style adoption at startup)."""
+        job = _job(replicated={0, 1, 3})  # rank 2 unreplicated
+        sole = job.protocols[job.rmap.phys(2, 0)]
+        # it adopted world-1 destinations for its neighbours
+        assert job.rmap.phys(3, 1) in sole.dests_for(3)
+        assert job.rmap.phys(1, 1) in sole.dests_for(1)
+        job.launch(ring_all)
+        res = job.run()
+        want = run_app(ring_all, 4).app_results[0]
+        assert all(v == want for v in res.app_results.values())
+
+    def test_collectives_work_partially_replicated(self):
+        def app(mpi):
+            s = yield from mpi.allreduce(float(mpi.rank), op="sum")
+            g = yield from mpi.allgather(mpi.rank)
+            b = yield from mpi.bcast(s if mpi.rank == 0 else None, root=0)
+            return s, tuple(g), b
+
+        job = _job(replicated={0, 3}).launch(app)
+        res = job.run()
+        for proc, (s, g, b) in res.app_results.items():
+            assert s == 6.0 and g == (0, 1, 2, 3) and b == 6.0
+
+    def test_anysource_app_partial(self):
+        def app(mpi, rounds=5):
+            if mpi.rank == 0:
+                total = 0.0
+                for r in range(rounds):
+                    for _ in range(mpi.size - 1):
+                        d, _ = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
+                        total += float(d[0])
+                    for dst in range(1, mpi.size):
+                        yield from mpi.send(np.array([total]), dest=dst, tag=3)
+                return total
+            acc = 0.0
+            for r in range(rounds):
+                yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
+                d, _ = yield from mpi.recv(source=0, tag=3)
+                acc = float(d[0])
+            return acc
+
+        job = _job(replicated={0, 1}, n_ranks=3).launch(app)
+        res = job.run()
+        vals = set(res.app_results.values())
+        assert len(vals) == 1
+
+    def test_mirror_protocol_partial(self):
+        job = _job(replicated={0}, protocol="mirror").launch(ring_all)
+        res = job.run()
+        want = run_app(ring_all, 4).app_results[0]
+        assert all(v == want for v in res.app_results.values())
+
+
+class TestPartialFaultTolerance:
+    def test_replicated_rank_still_tolerates_crash(self):
+        job = _job(replicated={0, 2}).launch(ring_all)
+        job.crash(2, 1, at=20e-6)  # kill rank 2's replica
+        res = job.run()
+        want = run_app(ring_all, 4).app_results[0]
+        for proc, val in res.app_results.items():
+            assert val == want
+
+    def test_unreplicated_rank_crash_loses_application(self):
+        job = _job(replicated={0, 2}).launch(ring_all)
+        job.crash(1, 0, at=20e-6)  # rank 1 has no replica
+        with pytest.raises(Exception) as err:
+            job.run()
+        assert "lost" in str(err.value).lower() or "deadlock" in str(err.value).lower()
+
+    def test_resource_savings_measurable(self):
+        """Half the ranks replicated -> fewer frames than full replication."""
+        full = _job(replicated={0, 1, 2, 3}).launch(ring_all).run()
+        half = _job(replicated={0, 2}).launch(ring_all).run()
+        assert half.fabric["frames"] < full.fabric["frames"]

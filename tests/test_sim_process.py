@@ -1,0 +1,158 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, ProcessFailure
+from repro.sim.sync import Event, Timeout
+
+
+def test_process_runs_and_returns_value(sim):
+    def body():
+        yield Timeout(sim, 1.0)
+        yield Timeout(sim, 2.0)
+        return "done"
+
+    p = Process(sim, body(), name="t")
+    sim.run()
+    assert not p.alive
+    assert p.value == "done"
+    assert sim.now == 3.0
+
+
+def test_yielded_event_value_flows_back(sim):
+    got = []
+
+    def body():
+        v = yield Timeout(sim, 1.0, value="tick")
+        got.append(v)
+
+    Process(sim, body())
+    sim.run()
+    assert got == ["tick"]
+
+
+def test_failed_event_throws_into_generator(sim):
+    caught = []
+
+    def body():
+        ev = Event(sim)
+        ev.fail(ValueError("boom"))
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    Process(sim, body())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_escaped_exception_recorded_and_join_fails(sim):
+    def body():
+        yield Timeout(sim, 1.0)
+        raise RuntimeError("died")
+
+    p = Process(sim, body())
+    joined = []
+    p.join().add_callback(lambda e: joined.append(e.ok))
+    sim.run()
+    assert isinstance(p.exception, RuntimeError)
+    assert joined == [False]
+
+
+def test_yielding_non_event_is_an_error(sim):
+    def body():
+        yield 42
+
+    p = Process(sim, body())
+    sim.run()
+    assert p.exception is not None
+    assert "yield" in str(p.exception)
+
+
+def test_non_generator_body_rejected(sim):
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_crash_stops_process_immediately(sim):
+    progress = []
+
+    def body():
+        for i in range(10):
+            progress.append(i)
+            yield Timeout(sim, 1.0)
+
+    p = Process(sim, body())
+    sim.call_at(2.5, p.crash)
+    sim.run()
+    assert p.crashed and not p.alive
+    assert progress == [0, 1, 2]  # i=3 would have run at t=3.0
+
+
+def test_crash_is_idempotent(sim):
+    def body():
+        yield Timeout(sim, 10.0)
+
+    p = Process(sim, body())
+    sim.call_at(1.0, p.crash)
+    sim.call_at(2.0, p.crash)
+    sim.run()
+    assert p.crashed
+
+
+def test_crash_runs_generator_finally(sim):
+    cleaned = []
+
+    def body():
+        try:
+            yield Timeout(sim, 10.0)
+        finally:
+            cleaned.append(True)
+
+    p = Process(sim, body())
+    sim.call_at(1.0, p.crash)
+    sim.run()
+    assert cleaned == [True]
+
+
+def test_join_returns_value(sim):
+    def worker():
+        yield Timeout(sim, 2.0)
+        return 99
+
+    def waiter(w):
+        v = yield w.join()
+        return v * 2
+
+    w = Process(sim, worker())
+    p = Process(sim, waiter(w))
+    sim.run()
+    assert p.value == 198
+
+
+def test_on_exit_callback(sim):
+    exited = []
+
+    def body():
+        yield Timeout(sim, 1.0)
+
+    Process(sim, body(), on_exit=lambda p: exited.append(p.name), name="w")
+    sim.run()
+    assert exited == ["w"]
+
+
+def test_processes_interleave_by_virtual_time(sim):
+    order = []
+
+    def body(name, dt):
+        for _ in range(3):
+            yield Timeout(sim, dt)
+            order.append((name, sim.now))
+
+    Process(sim, body("fast", 1.0))
+    Process(sim, body("slow", 2.5))
+    sim.run()
+    assert order == sorted(order, key=lambda x: x[1])
+    assert [n for n, _ in order].count("fast") == 3

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Tuple
 
-from repro.core.interpose import RecvHandle, SendHandle
+from repro.core.interpose import RecvHandle
 from repro.core.sdr import SdrProtocol
 from repro.mpi.pml import Envelope, Pml, PmlRecvRequest
-from repro.mpi.status import ANY_SOURCE, Status
+from repro.mpi.status import ANY_SOURCE
 
 __all__ = ["LeaderProtocol", "LeaderDecideMixin", "DeferredRecvHandle"]
 
@@ -37,6 +37,9 @@ class DeferredRecvHandle(RecvHandle):
     """A follower's anonymous receive, parked until the leader decides."""
 
     __slots__ = ("proto", "anon_id", "ctx", "tag", "buf", "_posted")
+
+    #: deferred receives do real work in advance() (posting on decision)
+    needs_advance = True
 
     def __init__(self, proto: "LeaderDecideMixin", anon_id: int, ctx: Any, tag: int, buf: Any) -> None:
         super().__init__(PmlRecvRequest(ctx, ANY_SOURCE, tag, buf))  # placeholder
@@ -51,15 +54,20 @@ class DeferredRecvHandle(RecvHandle):
     def done(self) -> bool:
         return self._posted and self.pml_req.done
 
-    def advance(self) -> Generator:
-        if not self._posted:
-            decision = self.proto.decisions.pop(self.anon_id, None)
-            if decision is not None:
-                source, tag = decision
-                self.pml_req = yield from self.proto.pml.irecv(
-                    ctx=self.ctx, source=source, tag=tag, buf=self.buf
-                )
-                self._posted = True
+    def advance(self) -> Optional[Generator]:
+        if self._posted:
+            return None
+        decision = self.proto.decisions.pop(self.anon_id, None)
+        if decision is None:
+            return None
+        return self._post_decided(decision)
+
+    def _post_decided(self, decision: Tuple[int, int]) -> Generator:
+        source, tag = decision
+        self.pml_req = yield from self.proto.pml.irecv(
+            ctx=self.ctx, source=source, tag=tag, buf=self.buf
+        )
+        self._posted = True
 
 
 class LeaderDecideMixin:
@@ -85,9 +93,18 @@ class LeaderDecideMixin:
         self.pml.on_match.append(self._decide_on_match)
 
     def _is_leader(self) -> bool:
-        """The leader is the lowest alive replica of my rank."""
-        alive = self.membership.alive_replicas(self.rank)
-        return bool(alive) and self.rmap.rep_of(alive[0]) == self.rep
+        """The leader is the lowest alive replica of my rank.
+
+        Runs once per anonymous reception: scan replica slots directly
+        instead of materializing the alive-replica list.
+        """
+        rmap = self.rmap
+        n_ranks = rmap.n_ranks
+        endpoints = self.pml.fabric.endpoints
+        for rep in range(rmap.degree):
+            if endpoints[rep * n_ranks + self.rank].alive:
+                return rep == self.rep
+        return False
 
     def _next_anon_id(self) -> int:
         self._anon_seq += 1
@@ -103,18 +120,28 @@ class LeaderDecideMixin:
         return self._broadcast_decision(anon_id, env)
 
     def _broadcast_decision(self, anon_id: int, env: Envelope) -> Generator:
+        # Charge-then-inject split (see Pml.inject_ctrl): one decision per
+        # anonymous reception puts this on the leader ablation's hot path.
+        pml = self.pml
+        endpoints = pml.fabric.endpoints
+        n_ranks = self.rmap.n_ranks
         for rep in range(self.rmap.degree):
             if rep == self.rep:
                 continue
-            ph = self.rmap.phys(self.rank, rep)
-            if self.membership.is_alive(ph):
+            ph = rep * n_ranks + self.rank  # rmap.phys, replica-major
+            if endpoints[ph].alive:
                 self.decisions_sent += 1
-                yield from self.pml.send_ctrl(ph, DECIDE, (anon_id, env.src_rank, env.tag))
+                overhead = pml.send_cost(ph)
+                if overhead > 0.0:
+                    yield overhead
+                pml.inject_ctrl(ph, DECIDE, (anon_id, env.src_rank, env.tag))
 
-    def _on_decide(self, env: Envelope) -> Generator:
+    def _on_decide(self, env: Envelope) -> None:
+        # Plain ctrl handler (no charge, no yields): returning None lets
+        # the PML skip driving a generator per decision frame.
         anon_id, source, tag = env.data
         self.decisions[anon_id] = (source, tag)
-        yield from ()
+        return None
 
     def leader_irecv(self, ctx, source, tag, buf) -> Generator[Any, Any, RecvHandle]:
         """Anonymous-reception entry point used by app_irecv overrides."""

@@ -14,76 +14,15 @@ MPI — used for every "Native" column in the paper's tables.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, TYPE_CHECKING
 
-from repro.mpi.pml import Pml, PmlRecvRequest, PmlSendRequest
-from repro.mpi.status import Status
+from repro.mpi.datatypes import copy_payload, nbytes_of
+from repro.mpi.handles import RecvHandle, SendHandle
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.mpi.pml import Pml
 
 __all__ = ["SendHandle", "RecvHandle", "BaseProtocol", "NativeProtocol"]
-
-
-def _noop() -> Generator:
-    """An empty generator (the default, cost-free advance)."""
-    return
-    yield  # pragma: no cover
-
-
-class SendHandle:
-    """Application-level send completion handle.
-
-    ``done`` is MPI_Wait's predicate for the send: the library-level sends
-    have completed *and* every protocol condition holds.  ``needs_ack`` is
-    populated by parallel protocols (empty for native/mirror).
-    """
-
-    __slots__ = ("pml_reqs", "needs_ack", "status", "world_dst", "seq", "payload", "nbytes")
-
-    def __init__(
-        self,
-        pml_reqs: List[PmlSendRequest],
-        world_dst: int,
-        seq: int,
-        payload: Any = None,
-        nbytes: int = 0,
-    ) -> None:
-        self.pml_reqs = pml_reqs
-        self.needs_ack: set = set()
-        self.status: Optional[Status] = None
-        self.world_dst = world_dst
-        self.seq = seq
-        self.payload = payload
-        self.nbytes = nbytes
-
-    @property
-    def done(self) -> bool:
-        return not self.needs_ack and all(r.done for r in self.pml_reqs)
-
-    def advance(self) -> Generator:
-        return _noop()
-
-
-class RecvHandle:
-    """Application-level receive handle wrapping a PML receive request."""
-
-    __slots__ = ("pml_req",)
-
-    def __init__(self, pml_req: PmlRecvRequest) -> None:
-        self.pml_req = pml_req
-
-    @property
-    def done(self) -> bool:
-        return self.pml_req.done
-
-    @property
-    def data(self) -> Any:
-        return self.pml_req.data
-
-    @property
-    def status(self) -> Optional[Status]:
-        return self.pml_req.status
-
-    def advance(self) -> Generator:
-        return _noop()
 
 
 class BaseProtocol:
@@ -138,18 +77,18 @@ class NativeProtocol(BaseProtocol):
     def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator:
         self.app_sends += 1
         seq = self.next_seq(world_dst)
-        req = yield from self.pml.isend(
-            ctx=ctx,
-            src_rank=src_rank,
-            tag=tag,
-            data=data,
-            world_src=self.world_rank,
-            world_dst=world_dst,
-            seq=seq,
-            dst_phys=world_dst,
-            synchronous=synchronous,
+        # charge-then-post split of pml.isend (see Pml.post_send)
+        pml = self.pml
+        payload = copy_payload(data)
+        nbytes = nbytes_of(payload)
+        overhead = pml.send_cost(world_dst)
+        if overhead > 0.0:
+            yield overhead
+        req = pml.post_send(
+            ctx, src_rank, tag, payload, self.world_rank, world_dst,
+            seq, world_dst, nbytes, synchronous,
         )
-        return SendHandle([req], world_dst, seq, nbytes=req.nbytes)
+        return SendHandle([req], world_dst, seq, nbytes=nbytes)
 
     def app_irecv(self, ctx, source, tag, buf=None) -> Generator:
         self.app_recvs += 1

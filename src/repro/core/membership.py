@@ -14,7 +14,7 @@ same answer from the same notification without extra communication.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.core.worlds import ReplicaMap
 from repro.network.fabric import Fabric, Frame
@@ -52,7 +52,7 @@ class MembershipService:
         fabric.on_crash.append(self._on_crash)
 
     def is_alive(self, proc: int) -> bool:
-        return self.fabric.is_alive(proc)
+        return self.fabric.endpoints[proc].alive
 
     def alive_replicas(self, rank: int) -> List[int]:
         return [p for p in self.rmap.replicas_of(rank) if self.is_alive(p)]
@@ -75,7 +75,7 @@ class MembershipService:
         # a service frame straight into the endpoint (the detector is not an
         # MPI peer), handled at the victim's next MPI call.
         when = self.sim.now + self.detection_delay
-        for p, ep in self.fabric.endpoints.items():
+        for p, ep in enumerate(self.fabric.endpoints):
             if p != proc and ep.alive:
                 self.sim.call_at(
                     when,

@@ -43,7 +43,6 @@ from repro.core.replicated import ReplicatedBase
 from repro.core.worlds import ReplicaMap
 from repro.mpi.datatypes import copy_payload, nbytes_of
 from repro.mpi.pml import Envelope, Pml, PmlRecvRequest
-from repro.sim.sync import Timeout
 
 __all__ = ["SdrProtocol", "SdrSendHandle"]
 
@@ -58,8 +57,20 @@ class SdrSendHandle(SendHandle):
 
     __slots__ = ("ctx", "src_rank", "tag")
 
-    def __init__(self, world_dst: int, seq: int, ctx: Any, src_rank: int, tag: int, payload: Any) -> None:
-        super().__init__([], world_dst, seq, payload=payload, nbytes=nbytes_of(payload))
+    def __init__(
+        self,
+        world_dst: int,
+        seq: int,
+        ctx: Any,
+        src_rank: int,
+        tag: int,
+        payload: Any,
+        nbytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            [], world_dst, seq, payload=payload,
+            nbytes=nbytes_of(payload) if nbytes is None else nbytes,
+        )
         self.ctx = ctx
         self.src_rank = src_rank
         self.tag = tag
@@ -121,35 +132,38 @@ class SdrProtocol(ReplicatedBase):
         self.app_sends += 1
         seq = self.next_seq(world_dst)
         payload = copy_payload(data)
-        handle = SdrSendHandle(world_dst, seq, ctx, src_rank, tag, payload)
+        nbytes = nbytes_of(payload)
+        handle = SdrSendHandle(world_dst, seq, ctx, src_rank, tag, payload, nbytes=nbytes)
         # Algorithm 1 lines 5-9, in replica-index order: transmit to my
         # physicalDests, post an expected-ack receive for every other alive
         # replica of the destination rank.  Posting the ack receive costs
         # CPU (request management) — a real, measurable part of the
         # protocol's small-message overhead.
-        dests = set(self.dests_for(world_dst))
+        dests = self.dests_for(world_dst)
+        pml = self.pml
+        endpoints = pml.fabric.endpoints
+        n_ranks = self.rmap.n_ranks
+        ack_post = self.cfg.ack_post_overhead
         for rep in range(self.rmap.degree):
-            ph = self.rmap.phys(world_dst, rep)
+            ph = rep * n_ranks + world_dst  # rmap.phys, replica-major
             if ph in dests:
-                if not self.membership.is_alive(ph):
+                if not endpoints[ph].alive:
                     continue
-                req = yield from self.pml.isend(
-                    ctx=ctx,
-                    src_rank=src_rank,
-                    tag=tag,
-                    data=payload,
-                    world_src=self.rank,
-                    world_dst=world_dst,
-                    seq=seq,
-                    dst_phys=ph,
-                    already_copied=True,
-                    synchronous=synchronous,
+                # charge-then-post split of pml.isend (hot: one per
+                # application message per destination replica)
+                overhead = pml.send_cost(ph)
+                if overhead > 0.0:
+                    yield overhead
+                handle.pml_reqs.append(
+                    pml.post_send(
+                        ctx, src_rank, tag, payload, self.rank, world_dst,
+                        seq, ph, nbytes, synchronous,
+                    )
                 )
-                handle.pml_reqs.append(req)
-            elif self.membership.is_alive(ph):
+            elif endpoints[ph].alive:
                 handle.needs_ack.add(ph)
-                if self.cfg.ack_post_overhead > 0:
-                    yield Timeout(self.pml.sim, self.cfg.ack_post_overhead)
+                if ack_post > 0:
+                    yield ack_post
         early = self._early_acks.pop((world_dst, seq), None)
         if early:
             handle.needs_ack -= early
@@ -165,16 +179,38 @@ class SdrProtocol(ReplicatedBase):
 
     # ------------------------------------------------------------------ acks
     def _ack_on_recv_complete(self, env: Envelope, recv: Optional[PmlRecvRequest]) -> Generator:
-        """Algorithm 1 lines 15-17: on irecvComplete, ack the other senders."""
-        sender_rep = self.rmap.rep_of(env.src_phys)
-        yield from self._send_acks(env.world_src, sender_rep, env.seq)
+        """Algorithm 1 lines 15-17: on irecvComplete, ack the other senders.
+
+        Body of :meth:`_send_acks` inlined — this hook runs once per
+        received application message, and the sub-generator delegation is
+        measurable at that rate.
+        """
+        rmap = self.rmap
+        sender_rep = rmap.rep_of(env.src_phys)
+        n_ranks = rmap.n_ranks
+        pml = self.pml
+        endpoints = pml.fabric.endpoints
+        src_rank = env.world_src
+        seq = env.seq
+        for rep in range(rmap.degree):
+            if rep == sender_rep:
+                continue
+            ph = rep * n_ranks + src_rank  # rmap.phys, replica-major
+            if endpoints[ph].alive:
+                self.acks_sent += 1
+                overhead = pml.send_cost(ph)
+                if overhead > 0.0:
+                    yield overhead
+                pml.inject_ctrl(ph, ACK, (self.rank, seq), self.cfg.ack_bytes)
 
     def _send_acks(self, src_rank: int, sender_rep: int, seq: int) -> Generator:
+        n_ranks = self.rmap.n_ranks
+        is_alive = self.membership.is_alive
         for rep in range(self.rmap.degree):
             if rep == sender_rep:
                 continue
-            ph = self.rmap.phys(src_rank, rep)
-            if self.membership.is_alive(ph):
+            ph = rep * n_ranks + src_rank  # rmap.phys, replica-major
+            if is_alive(ph):
                 self.acks_sent += 1
                 yield from self.pml.send_ctrl(
                     ph, ACK, (self.rank, seq), nbytes=self.cfg.ack_bytes
@@ -190,7 +226,7 @@ class SdrProtocol(ReplicatedBase):
         world_dst, seq = env.data
         self.acks_received += 1
         if self.cfg.ack_handle_overhead > 0:
-            yield Timeout(self.pml.sim, self.cfg.ack_handle_overhead)
+            yield self.cfg.ack_handle_overhead
         handle = self.retention.get((world_dst, seq))
         if handle is not None:
             handle.needs_ack.discard(env.src_phys)
@@ -285,7 +321,7 @@ class SdrProtocol(ReplicatedBase):
         """Substitute side of §3.4: notify every alive process over the
         regular FIFO channels, then stop sending on the dead replica's
         behalf (its duties move to the respawned process)."""
-        for p, ep in self.pml.fabric.endpoints.items():
+        for p, ep in enumerate(self.pml.fabric.endpoints):
             if p != self.pml.proc and ep.alive:
                 yield from self.pml.send_ctrl(p, RECOVERED, (self.rank, new_proc, rep_f))
         self.substitute[rep_f] = rep_f

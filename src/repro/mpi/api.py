@@ -19,8 +19,9 @@ baselines.  The facade itself is protocol-agnostic — this is the paper's
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Generator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.mpi.handles import RecvHandle, SendHandle
 from repro.mpi.collectives import algorithms as coll
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import nbytes_of
@@ -28,10 +29,10 @@ from repro.mpi.errors import MpiError
 from repro.mpi.pml import Pml
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.sim.kernel import Simulator
-from repro.sim.sync import Timeout
+from repro.sim.sync import Timeout  # noqa: F401 - re-exported for API users
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.interpose import BaseProtocol, RecvHandle, SendHandle
+    from repro.core.interpose import BaseProtocol
 
 __all__ = ["MpiProcess"]
 
@@ -98,7 +99,7 @@ class MpiProcess:
             seconds *= float(rng.lognormal(mean=0.0, sigma=sigma))
         self.compute_time += seconds
         if seconds > 0:
-            yield Timeout(self.sim, seconds)
+            yield seconds
 
     def register_state(self, state: Any) -> None:
         """Register a snapshot/restore-able state object (recovery support)."""
@@ -181,18 +182,47 @@ class MpiProcess:
         While blocked, the PML keeps progressing: incoming messages match,
         ``irecvComplete`` fires, acks flow — the behaviour §3.3's
         deadlock-avoidance argument requires.
+
+        Handle ``advance()`` may return ``None`` (no work, the common case)
+        or a generator to drive; skipping the no-work generators keeps this
+        loop — entered once per progress step of every blocking MPI call —
+        allocation-free.  The progress step itself (pop one inbound frame,
+        or block on the endpoint) is inlined from
+        :meth:`~repro.mpi.pml.Pml.progress_step`: frames are still handled
+        only here, preserving the no-asynchronous-progress contract (§3.3).
         """
+        pml = self.pml
+        ep = pml.endpoint
         while True:
             for h in handles:
-                yield from h.advance()
-            if all(h.done for h in handles):
+                gen = h.advance()
+                if gen is not None:
+                    yield from gen
+            for h in handles:
+                if not h.done:
+                    break
+            else:
                 break
-            yield from self.pml.progress_step()
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
         return [h.status for h in handles]
 
     def wait(self, handle: Any) -> Generator[Any, Any, Optional[Status]]:
-        statuses = yield from self.wait_handles([handle])
-        return statuses[0]
+        """MPI_Wait: single-handle fast path of :meth:`wait_handles`."""
+        pml = self.pml
+        ep = pml.endpoint
+        while True:
+            gen = handle.advance()
+            if gen is not None:
+                yield from gen
+            if handle.done:
+                return handle.status
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
 
     def waitall(self, handles: Sequence[Any]) -> Generator:
         return (yield from self.wait_handles(handles))
@@ -204,7 +234,9 @@ class MpiProcess:
             raise MpiError("waitsome requires at least one handle")
         while True:
             for h in handles:
-                yield from h.advance()
+                gen = h.advance()
+                if gen is not None:
+                    yield from gen
             done = [(i, h.status) for i, h in enumerate(handles) if h.done]
             if done:
                 return done
@@ -221,7 +253,9 @@ class MpiProcess:
             raise MpiError("waitany requires at least one handle")
         while True:
             for i, h in enumerate(handles):
-                yield from h.advance()
+                gen = h.advance()
+                if gen is not None:
+                    yield from gen
                 if h.done:
                     return i, h.status
             yield from self.pml.progress_step()
@@ -229,19 +263,67 @@ class MpiProcess:
     def test(self, handle: Any) -> Generator[Any, Any, bool]:
         """Nonblocking completion check (MPI_Test): drain, never block."""
         yield from self.pml.drain()
-        yield from handle.advance()
+        gen = handle.advance()
+        if gen is not None:
+            yield from gen
         return handle.done
 
     def testall(self, handles: Sequence[Any]) -> Generator[Any, Any, bool]:
         yield from self.pml.drain()
         for h in handles:
-            yield from h.advance()
+            gen = h.advance()
+            if gen is not None:
+                yield from gen
         return all(h.done for h in handles)
 
     # --------------------------------------------------------------- blocking
     def send(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
-        handle = yield from self.isend(data, dest, tag, comm)
-        yield from self.wait(handle)
+        """Blocking send.
+
+        Flattened fast path: isend_on + wait fused into one generator
+        frame.  Blocking point-to-point dominates the workloads this engine
+        is benched on, and every layer of ``yield from`` delegation costs
+        a frame traversal per resumed event — so the blocking calls avoid
+        the nonblocking plumbing entirely.  Semantics are identical to
+        ``isend`` + ``wait``.
+        """
+        comm = comm or self.world
+        world_dst = comm.world_of(dest)
+        if self.recorder is not None:
+            self.recorder.record_send(
+                comm.ctx_p2p, comm.rank, dest, world_dst, tag, nbytes_of(data)
+            )
+        handle = yield from self.protocol.app_isend(
+            ctx=comm.ctx_p2p, src_rank=comm.rank, tag=tag, data=data,
+            world_dst=world_dst, synchronous=False,
+        )
+        pml = self.pml
+        ep = pml.endpoint
+        # Specialize the completion test when the handle has the stock
+        # ``done`` predicate: the property call per progress iteration is
+        # measurable.  ``needs_advance`` is a class flag — stock handles
+        # have no per-iteration work.
+        fast_done = type(handle).done is SendHandle.done
+        needs_advance = getattr(handle, "needs_advance", True)
+        while True:
+            if needs_advance:
+                gen = handle.advance()
+                if gen is not None:
+                    yield from gen
+            if fast_done:
+                if not handle.needs_ack:
+                    reqs = handle.pml_reqs
+                    if len(reqs) == 1:
+                        if reqs[0].done:
+                            return
+                    elif all(r.done for r in reqs):
+                        return
+            elif handle.done:
+                return
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
 
     def ssend(self, data: Any, dest: int, tag: int = 0, comm: Optional[Communicator] = None) -> Generator:
         """MPI_Ssend: returns only after the matching receive was posted."""
@@ -255,9 +337,37 @@ class MpiProcess:
         comm: Optional[Communicator] = None,
         buf: Any = None,
     ) -> Generator[Any, Any, Tuple[Any, Status]]:
-        handle = yield from self.irecv(source, tag, comm, buf)
-        status = yield from self.wait(handle)
-        return handle.data, status
+        """Blocking receive (flattened fast path; see :meth:`send`)."""
+        comm = comm or self.world
+        if source != ANY_SOURCE and not (0 <= source < comm.size):
+            raise MpiError(f"receive source {source} outside communicator of size {comm.size}")
+        handle = yield from self.protocol.app_irecv(
+            ctx=comm.ctx_p2p, source=source, tag=tag, buf=buf
+        )
+        pml = self.pml
+        ep = pml.endpoint
+        if type(handle) is RecvHandle:
+            # Stock handle: the wrapped PML request never changes, so poll
+            # it directly instead of going through three properties per
+            # progress iteration.
+            req = handle.pml_req
+            while True:
+                if req.done:
+                    return req.data, req.status
+                if ep.inbox:
+                    yield from pml.handle_frame(ep.inbox.popleft())
+                else:
+                    yield ep  # block on the endpoint (allocation-free waiter)
+        while True:
+            gen = handle.advance()
+            if gen is not None:
+                yield from gen
+            if handle.done:
+                return handle.data, handle.status
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
 
     def sendrecv(
         self,

@@ -16,7 +16,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["Phantom", "nbytes_of", "copy_payload", "combine"]
+__all__ = ["Phantom", "nbytes_of", "copy_payload", "writable_copy", "combine", "snapshot_stats"]
 
 
 class Phantom:
@@ -64,12 +64,34 @@ def nbytes_of(obj: Any) -> int:
     raise TypeError(f"cannot size payload of type {type(obj).__name__}")
 
 
+#: copy-on-write accounting: how often a snapshot was shared vs. deep-copied
+snapshot_stats = {"shared": 0, "copied": 0}
+
+
 def copy_payload(obj: Any) -> Any:
-    """Snapshot a payload at send time (MPI send-buffer semantics)."""
+    """Snapshot a payload at send time (MPI send-buffer semantics).
+
+    Copy-on-write discipline: the returned snapshot is *immutable* and may
+    be shared freely.  Immutable inputs — ``Phantom``, ``bytes``, scalars,
+    and ndarrays whose writeable flag is already cleared (i.e. a previous
+    ``copy_payload`` result) — are returned as-is; only a writable ndarray
+    pays for a copy, and that copy is write-guarded (``writeable=False``)
+    so any later mutation of the shared snapshot raises instead of silently
+    corrupting retention buffers.  This is what lets the SDR retention
+    table, mirror fan-out, failover resends and respawn state cloning all
+    hold *one* snapshot per logical message instead of deep-copying per
+    send: re-snapshotting an immutable payload is free.
+    """
     if obj is None or isinstance(obj, (Phantom, bytes, str, int, float, complex)):
         return obj
     if isinstance(obj, np.ndarray):
-        return obj.copy()
+        if not obj.flags.writeable:
+            snapshot_stats["shared"] += 1
+            return obj
+        snap = obj.copy()
+        snap.flags.writeable = False
+        snapshot_stats["copied"] += 1
+        return snap
     if isinstance(obj, bytearray):
         return bytes(obj)
     if isinstance(obj, (list, tuple)):
@@ -77,6 +99,18 @@ def copy_payload(obj: Any) -> Any:
     if isinstance(obj, np.generic):
         return obj
     raise TypeError(f"cannot copy payload of type {type(obj).__name__}")
+
+
+def writable_copy(obj: Any) -> Any:
+    """Mutable copy of a (possibly shared, read-only) received payload.
+
+    Receivers that want to update a received array in place should go
+    through this instead of mutating ``recv.data`` — the latter may be a
+    write-guarded shared snapshot.
+    """
+    if isinstance(obj, np.ndarray) and not obj.flags.writeable:
+        return obj.copy()
+    return obj
 
 
 _OPS = {

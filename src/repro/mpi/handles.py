@@ -1,0 +1,101 @@
+"""Stock application-level completion handles.
+
+These are the request objects the MPI wait loops poll: a
+:class:`SendHandle` aggregates library-level send requests plus protocol
+completion conditions (SDR-MPI's "all r-1 acks collected"), a
+:class:`RecvHandle` wraps one PML receive request.  They live in
+:mod:`repro.mpi` (rather than with the protocol interposition contract in
+:mod:`repro.core.interpose`, which re-exports them) so the API facade's
+blocking fast paths can specialize on the stock types without creating an
+import cycle.
+
+Contract notes for subclasses:
+
+* ``advance()`` returns ``None`` when there is no per-iteration work (the
+  stock behaviour) or a generator the wait loop must drive;
+* ``needs_advance`` is a class flag mirroring that: the wait loops skip
+  the ``advance()`` call entirely when it is False;
+* the blocking fast paths inline the *stock* ``done`` predicate only when
+  ``type(handle).done is SendHandle.done`` — overriding ``done`` in a
+  subclass safely falls back to the generic loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+from repro.mpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.mpi.pml import PmlRecvRequest, PmlSendRequest
+
+__all__ = ["SendHandle", "RecvHandle"]
+
+
+class SendHandle:
+    """Application-level send completion handle.
+
+    ``done`` is MPI_Wait's predicate for the send: the library-level sends
+    have completed *and* every protocol condition holds.  ``needs_ack`` is
+    populated by parallel protocols (empty for native/mirror).
+    """
+
+    __slots__ = ("pml_reqs", "needs_ack", "status", "world_dst", "seq", "payload", "nbytes")
+
+    #: class flag: no per-iteration advance work (wait loops skip the call)
+    needs_advance = False
+
+    def __init__(
+        self,
+        pml_reqs: List["PmlSendRequest"],
+        world_dst: int,
+        seq: int,
+        payload: Any = None,
+        nbytes: int = 0,
+    ) -> None:
+        self.pml_reqs = pml_reqs
+        self.needs_ack: set = set()
+        self.status: Optional[Status] = None
+        self.world_dst = world_dst
+        self.seq = seq
+        self.payload = payload
+        self.nbytes = nbytes
+
+    @property
+    def done(self) -> bool:
+        if self.needs_ack:
+            return False
+        reqs = self.pml_reqs
+        if len(reqs) == 1:
+            return reqs[0].done
+        return all(r.done for r in reqs)
+
+    def advance(self) -> Optional[Generator]:
+        return None
+
+
+class RecvHandle:
+    """Application-level receive handle wrapping a PML receive request."""
+
+    __slots__ = ("pml_req",)
+
+    #: class flag: no per-iteration advance work (wait loops skip the call)
+    needs_advance = False
+
+    def __init__(self, pml_req: "PmlRecvRequest") -> None:
+        self.pml_req = pml_req
+
+    @property
+    def done(self) -> bool:
+        return self.pml_req.done
+
+    @property
+    def data(self) -> Any:
+        return self.pml_req.data
+
+    @property
+    def status(self) -> Optional[Status]:
+        return self.pml_req.status
+
+    def advance(self) -> Optional[Generator]:
+        return None

@@ -11,19 +11,45 @@ MPI matching rules implemented here:
 * a message that matches no posted receive is queued as *unexpected* (the
   paper's §3.1 points out that leader-based replication inflates this queue;
   we count hits so the ablation can measure it).
+
+Two implementations share that contract:
+
+:class:`MatchEngine` (the default) indexes both queues by
+``(ctx, source, tag)`` *pattern lanes* so every operation touches a handful
+of deque heads instead of scanning the whole queue.  A posted receive lives
+in exactly one lane — the lane of its own pattern, wildcards included.  An
+arriving envelope can be claimed by at most four patterns
+(``(ctx, src, tag)``, ``(ctx, src, ANY)``, ``(ctx, ANY, tag)``,
+``(ctx, ANY, ANY)``), so ``arrive`` peeks four lane heads and takes the
+earliest-posted candidate — which is exactly the "first compatible receive
+in posting order" rule.  Symmetrically, an unexpected envelope is appended
+to all four of its pattern lanes; ``post`` looks up the single lane of the
+receive's own pattern and claims the head.  Claimed/cancelled entries are
+tombstoned in place and dropped lazily when they surface at a lane head,
+keeping every operation amortized O(1) — the seed engine's linear scans
+made the §3.1 leader ablation quadratic in the unexpected-queue depth.
+
+:class:`LinearMatchEngine` is the seed engine's O(n)-scan implementation,
+kept as the executable specification: the property tests in
+``tests/test_matching_equivalence.py`` drive both engines with randomized
+post/arrive/cancel/probe streams (including wildcards) and require
+identical pairing decisions.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Any, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.mpi.status import ANY_SOURCE, ANY_TAG
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.pml import Envelope, PmlRecvRequest
 
-__all__ = ["MatchEngine"]
+__all__ = ["MatchEngine", "LinearMatchEngine"]
+
+#: tombstone indices into lane entries ([order_seq, item, alive])
+_SEQ, _ITEM, _ALIVE = 0, 1, 2
 
 
 def _compatible(recv: "PmlRecvRequest", env: "Envelope") -> bool:
@@ -37,14 +63,188 @@ def _compatible(recv: "PmlRecvRequest", env: "Envelope") -> bool:
 
 
 class MatchEngine:
-    """Per-process matching state."""
+    """Per-process matching state, indexed by (ctx, source, tag) lanes."""
+
+    __slots__ = (
+        "_posted_lanes",
+        "_posted_entry",
+        "_posted_seq",
+        "_posted_pending",
+        "_unexpected_lanes",
+        "_unexpected_seq",
+        "_unexpected_pending",
+        "unexpected_count",
+        "unexpected_peak",
+    )
+
+    def __init__(self) -> None:
+        #: posting-order lanes: pattern key -> deque of [seq, recv, alive]
+        self._posted_lanes: Dict[Tuple, Deque[list]] = {}
+        #: recv identity -> its lane entry (for O(1) cancel)
+        self._posted_entry: Dict[int, list] = {}
+        self._posted_seq = 0
+        self._posted_pending = 0
+        #: arrival-order lanes: pattern key -> deque of [seq, env, alive];
+        #: each envelope appears in all four patterns that could claim it
+        self._unexpected_lanes: Dict[Tuple, Deque[list]] = {}
+        self._unexpected_seq = 0
+        self._unexpected_pending = 0
+        #: number of messages that arrived before their receive was posted
+        self.unexpected_count = 0
+        #: high-water mark of the unexpected queue
+        self.unexpected_peak = 0
+
+    # ----------------------------------------------------- diagnostic views
+    @property
+    def posted(self) -> List["PmlRecvRequest"]:
+        """Pending posted receives in posting order (diagnostics/tests)."""
+        entries = [e for lane in self._posted_lanes.values() for e in lane if e[_ALIVE]]
+        entries.sort(key=lambda e: e[_SEQ])
+        return [e[_ITEM] for e in entries]
+
+    @property
+    def unexpected(self) -> List["Envelope"]:
+        """Pending unexpected envelopes in arrival order (diagnostics/tests)."""
+        seen: Dict[int, list] = {}
+        for lane in self._unexpected_lanes.values():
+            for e in lane:
+                if e[_ALIVE]:
+                    seen[e[_SEQ]] = e
+        return [seen[s][_ITEM] for s in sorted(seen)]
+
+    # ----------------------------------------------------------- post side
+    def post(self, recv: "PmlRecvRequest") -> Optional["Envelope"]:
+        """Register a receive; returns an unexpected envelope if one matches."""
+        lane = self._unexpected_lanes.get((recv.ctx, recv.source, recv.tag))
+        if lane:
+            while lane:
+                entry = lane[0]
+                if entry[_ALIVE]:
+                    env = entry[_ITEM]
+                    entry[_ALIVE] = False
+                    # The entry list is shared by this envelope's other
+                    # three pattern lanes; dropping the item reference now
+                    # frees the envelope (and its payload) even though the
+                    # tombstones are only compacted when they surface at a
+                    # lane head.
+                    entry[_ITEM] = None
+                    lane.popleft()
+                    self._unexpected_pending -= 1
+                    return env
+                lane.popleft()
+        self._posted_seq += 1
+        entry = [self._posted_seq, recv, True]
+        key = (recv.ctx, recv.source, recv.tag)
+        posted_lane = self._posted_lanes.get(key)
+        if posted_lane is None:
+            posted_lane = self._posted_lanes[key] = deque()
+        posted_lane.append(entry)
+        self._posted_entry[id(recv)] = entry
+        self._posted_pending += 1
+        return None
+
+    def cancel(self, recv: "PmlRecvRequest") -> bool:
+        """Remove a posted receive; False if it already matched."""
+        entry = self._posted_entry.pop(id(recv), None)
+        if entry is None or not entry[_ALIVE]:
+            return False
+        entry[_ALIVE] = False
+        entry[_ITEM] = None  # free the request; the lane holds a tombstone
+        self._posted_pending -= 1
+        return True
+
+    # -------------------------------------------------------- arrival side
+    def arrive(self, env: "Envelope") -> Optional["PmlRecvRequest"]:
+        """Offer an arriving envelope; returns the matching posted receive,
+        or None after queuing the envelope as unexpected."""
+        ctx = env.ctx
+        src = env.src_rank
+        tag = env.tag
+        lanes = self._posted_lanes
+        best_entry = None
+        best_lane = None
+        for key in (
+            (ctx, src, tag),
+            (ctx, src, ANY_TAG),
+            (ctx, ANY_SOURCE, tag),
+            (ctx, ANY_SOURCE, ANY_TAG),
+        ):
+            lane = lanes.get(key)
+            if not lane:
+                continue
+            # Drop tombstones (matched or cancelled receives) at the head.
+            while lane:
+                head = lane[0]
+                if head[_ALIVE]:
+                    break
+                lane.popleft()
+            if lane:
+                head = lane[0]
+                if best_entry is None or head[_SEQ] < best_entry[_SEQ]:
+                    best_entry = head
+                    best_lane = lane
+        if best_entry is not None:
+            best_entry[_ALIVE] = False
+            best_lane.popleft()
+            recv = best_entry[_ITEM]
+            del self._posted_entry[id(recv)]
+            self._posted_pending -= 1
+            return recv
+        # Unexpected: enqueue under every pattern that could later claim it.
+        self._unexpected_seq += 1
+        entry = [self._unexpected_seq, env, True]
+        for key in (
+            (ctx, src, tag),
+            (ctx, src, ANY_TAG),
+            (ctx, ANY_SOURCE, tag),
+            (ctx, ANY_SOURCE, ANY_TAG),
+        ):
+            lane = self._unexpected_lanes.get(key)
+            if lane is None:
+                lane = self._unexpected_lanes[key] = deque()
+            lane.append(entry)
+        self._unexpected_pending += 1
+        self.unexpected_count += 1
+        if self._unexpected_pending > self.unexpected_peak:
+            self.unexpected_peak = self._unexpected_pending
+        return None
+
+    # ------------------------------------------------------------- queries
+    def probe(self, ctx, source: int, tag: int) -> Optional["Envelope"]:
+        """First unexpected envelope compatible with (ctx, source, tag)."""
+        lane = self._unexpected_lanes.get((ctx, source, tag))
+        if not lane:
+            return None
+        # Non-destructive for live entries, but dead heads can be dropped.
+        while lane:
+            entry = lane[0]
+            if entry[_ALIVE]:
+                return entry[_ITEM]
+            lane.popleft()
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "unexpected_count": self.unexpected_count,
+            "unexpected_peak": self.unexpected_peak,
+            "posted_pending": self._posted_pending,
+            "unexpected_pending": self._unexpected_pending,
+        }
+
+
+class LinearMatchEngine:
+    """The seed engine: linear scans over plain deques.
+
+    Kept as the executable specification of MPI matching semantics; the
+    indexed :class:`MatchEngine` must be observationally equivalent (see
+    the property tests).  Also the better choice for tiny hand-built
+    debugging scenarios where inspecting raw deques beats speed.
+    """
 
     def __init__(self) -> None:
         self.posted: Deque["PmlRecvRequest"] = deque()
         self.unexpected: Deque["Envelope"] = deque()
-        #: number of messages that arrived before their receive was posted
         self.unexpected_count = 0
-        #: high-water mark of the unexpected queue
         self.unexpected_peak = 0
 
     # ----------------------------------------------------------- post side

@@ -27,16 +27,16 @@ owning process executes an MPI call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.mpi.datatypes import copy_payload, nbytes_of
 from repro.mpi.errors import MpiError, TruncationError
 from repro.mpi.matching import MatchEngine
-from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.mpi.status import Status
 from repro.network.fabric import Fabric, Frame
 from repro.sim.kernel import Simulator
-from repro.sim.sync import Timeout
 
 __all__ = [
     "Envelope",
@@ -56,7 +56,6 @@ CTS_BYTES = 32
 CTRL_BYTES = 32
 
 
-@dataclass
 class Envelope:
     """Everything the PML knows about a message.
 
@@ -65,21 +64,64 @@ class Envelope:
     (what the replication protocol keys on); ``seq`` is the per
     (world_src → world_dst) application-message sequence number, identical
     across replicas by send-determinism.
+
+    A ``__slots__`` class rather than a dataclass: one envelope per frame
+    makes its construction part of the per-message critical path.
     """
 
-    kind: str  # 'eager' | 'rts' | 'cts' | 'data' | 'ctrl'
-    ctx: Any
-    src_rank: int
-    tag: int
-    world_src: int
-    world_dst: int
-    seq: int
-    nbytes: int
-    data: Any
-    src_phys: int
-    dst_phys: int
-    msg_id: int = -1
-    ctrl_key: str = ""
+    __slots__ = (
+        "kind",
+        "ctx",
+        "src_rank",
+        "tag",
+        "world_src",
+        "world_dst",
+        "seq",
+        "nbytes",
+        "data",
+        "src_phys",
+        "dst_phys",
+        "msg_id",
+        "ctrl_key",
+    )
+
+    def __init__(
+        self,
+        kind: str,  # 'eager' | 'rts' | 'cts' | 'data' | 'ctrl'
+        ctx: Any,
+        src_rank: int,
+        tag: int,
+        world_src: int,
+        world_dst: int,
+        seq: int,
+        nbytes: int,
+        data: Any,
+        src_phys: int,
+        dst_phys: int,
+        msg_id: int = -1,
+        ctrl_key: str = "",
+    ) -> None:
+        self.kind = kind
+        self.ctx = ctx
+        self.src_rank = src_rank
+        self.tag = tag
+        self.world_src = world_src
+        self.world_dst = world_dst
+        self.seq = seq
+        self.nbytes = nbytes
+        self.data = data
+        self.src_phys = src_phys
+        self.dst_phys = dst_phys
+        self.msg_id = msg_id
+        self.ctrl_key = ctrl_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Envelope(kind={self.kind!r}, ctx={self.ctx!r}, src_rank={self.src_rank}, "
+            f"tag={self.tag}, world_src={self.world_src}, world_dst={self.world_dst}, "
+            f"seq={self.seq}, nbytes={self.nbytes}, src_phys={self.src_phys}, "
+            f"dst_phys={self.dst_phys}, msg_id={self.msg_id}, ctrl_key={self.ctrl_key!r})"
+        )
 
     def clone_for(self, dst_phys: int) -> "Envelope":
         """Copy addressed to a different physical destination (mirror/resend)."""
@@ -170,6 +212,11 @@ class Pml:
         self.incoming_filter: Optional[Callable[[Envelope], Generator]] = None
         self.ctrl_handlers: Dict[str, Callable[[Envelope], Generator]] = {}
         self.svc_handlers: Dict[str, Callable[[Any], Generator]] = {}
+        # Per-peer cost caches (models are immutable for a job's lifetime):
+        # dst -> (send_overhead, eager_limit), src -> recv_overhead.  One
+        # dict probe per frame instead of fabric/placement lookups.
+        self._send_cost: Dict[int, Tuple[float, int]] = {}
+        self._recv_cost: Dict[int, float] = {}
         # counters
         self.sends_posted = 0
         self.recvs_posted = 0
@@ -184,15 +231,32 @@ class Pml:
 
     def _charge(self, seconds: float) -> Generator:
         if seconds > 0.0:
-            yield Timeout(self.sim, seconds)
+            yield seconds
+
+    def _send_cost_to(self, dst: int) -> Tuple[float, int]:
+        cost = self._send_cost.get(dst)
+        if cost is None:
+            model = self.fabric.model_for(self.proc, dst)
+            cost = (model.send_overhead, model.eager_limit)
+            self._send_cost[dst] = cost
+        return cost
 
     def inject(self, env: Envelope, wire_bytes: int) -> Generator:
-        """Charge sender overhead and put one frame on the wire."""
-        model = self.model_to(env.dst_phys)
-        yield from self._charge(model.send_overhead)
-        self.fabric.inject(
-            Frame(src=self.proc, dst=env.dst_phys, size=wire_bytes, payload=env, kind=env.kind)
-        )
+        """Charge sender overhead and put one frame on the wire.
+
+        The zero-overhead case (LinearCostModel, teaching setups) yields
+        nothing; the charge is inlined rather than delegated to
+        :meth:`_charge` so the common path allocates no sub-generator.
+        The hottest send paths (:meth:`isend`, :meth:`send_ctrl`) inline
+        this body outright to skip the sub-generator entirely.
+        """
+        dst = env.dst_phys
+        cost = self._send_cost.get(dst)
+        if cost is None:
+            cost = self._send_cost_to(dst)
+        if cost[0] > 0.0:
+            yield cost[0]
+        self.fabric.inject(Frame(self.proc, dst, wire_bytes, env, env.kind))
 
     # ----------------------------------------------------------------- send
     def isend(
@@ -207,6 +271,7 @@ class Pml:
         dst_phys: int,
         already_copied: bool = False,
         synchronous: bool = False,
+        nbytes: Optional[int] = None,
     ) -> Generator[Any, Any, PmlSendRequest]:
         """Post a send.  Generator: charges sender CPU; returns the request.
 
@@ -214,13 +279,86 @@ class Pml:
         buffer only after completion, but replication needs a stable copy
         for retention regardless).  ``synchronous`` forces the rendezvous
         protocol whatever the size — MPI_Ssend semantics: completion
-        implies the receive has been matched.
+        implies the receive has been matched.  Callers that already sized
+        the payload may pass ``nbytes`` to skip re-measuring it.
         """
         payload = data if already_copied else copy_payload(data)
-        nbytes = nbytes_of(payload)
+        if nbytes is None:
+            nbytes = nbytes_of(payload)
         msg_id = self._next_msg_id()
-        model = self.model_to(dst_phys)
-        kind = "eager" if (not synchronous and nbytes <= model.eager_limit) else "rts"
+        cost = self._send_cost.get(dst_phys)
+        if cost is None:
+            cost = self._send_cost_to(dst_phys)
+        kind = "eager" if (not synchronous and nbytes <= cost[1]) else "rts"
+        env = Envelope(
+            kind=kind,
+            ctx=ctx,
+            src_rank=src_rank,
+            tag=tag,
+            world_src=world_src,
+            world_dst=world_dst,
+            seq=seq,
+            nbytes=nbytes,
+            data=payload,
+            src_phys=self.proc,
+            dst_phys=dst_phys,
+            msg_id=msg_id,
+        )
+        req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
+        self.sends_posted += 1
+        # inject() inlined: one application send per call makes the extra
+        # sub-generator measurable.
+        overhead = cost[0]
+        if kind == "eager":
+            if overhead > 0.0:
+                yield overhead
+            self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "eager"))
+            req.done = True
+        else:
+            # Rendezvous: RTS now, DATA once the CTS comes back.
+            rts = env.clone_for(dst_phys)
+            rts.kind = "rts"
+            rts.data = None
+            self._rdv_sends[msg_id] = (req, env)
+            if overhead > 0.0:
+                yield overhead
+            self.fabric.inject(Frame(self.proc, dst_phys, RTS_BYTES, rts, "rts"))
+        return req
+
+    def send_cost(self, dst_phys: int) -> float:
+        """Sender CPU overhead toward *dst* (hot-path split of send_ctrl:
+        protocols charge this themselves, then call :meth:`inject_ctrl`,
+        avoiding a sub-generator per control frame)."""
+        cost = self._send_cost.get(dst_phys)
+        if cost is None:
+            cost = self._send_cost_to(dst_phys)
+        return cost[0]
+
+    def post_send(
+        self,
+        ctx: Any,
+        src_rank: int,
+        tag: int,
+        payload: Any,
+        world_src: int,
+        world_dst: int,
+        seq: int,
+        dst_phys: int,
+        nbytes: int,
+        synchronous: bool = False,
+    ) -> PmlSendRequest:
+        """Non-generator core of :meth:`isend` for pre-charged callers.
+
+        The caller must have snapshotted *payload* (``copy_payload``) and
+        charged :meth:`send_cost` already — the protocol fast paths do
+        charge-then-post to skip one sub-generator per application send.
+        Observationally identical to ``isend(..., already_copied=True)``.
+        """
+        msg_id = self._next_msg_id()
+        cost = self._send_cost.get(dst_phys)
+        if cost is None:
+            cost = self._send_cost_to(dst_phys)
+        kind = "eager" if (not synchronous and nbytes <= cost[1]) else "rts"
         env = Envelope(
             kind=kind,
             ctx=ctx,
@@ -238,16 +376,37 @@ class Pml:
         req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
         self.sends_posted += 1
         if kind == "eager":
-            yield from self.inject(env, nbytes)
+            self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "eager"))
             req.done = True
         else:
-            # Rendezvous: RTS now, DATA once the CTS comes back.
             rts = env.clone_for(dst_phys)
             rts.kind = "rts"
             rts.data = None
             self._rdv_sends[msg_id] = (req, env)
-            yield from self.inject(rts, RTS_BYTES)
+            self.fabric.inject(Frame(self.proc, dst_phys, RTS_BYTES, rts, "rts"))
         return req
+
+    def inject_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> None:
+        """Put one control frame on the wire *without* charging CPU.
+
+        The caller must charge :meth:`send_cost` first (yield the seconds)
+        — see :meth:`send_ctrl` for the composed generator form.
+        """
+        env = Envelope(
+            kind="ctrl",
+            ctx=None,
+            src_rank=-1,
+            tag=-1,
+            world_src=-1,
+            world_dst=-1,
+            seq=-1,
+            nbytes=nbytes,
+            data=data,
+            src_phys=self.proc,
+            dst_phys=dst_phys,
+            ctrl_key=ctrl_key,
+        )
+        self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "ctrl"))
 
     def send_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> Generator:
         """Send a protocol-private control frame (never enters matching)."""
@@ -265,7 +424,14 @@ class Pml:
             dst_phys=dst_phys,
             ctrl_key=ctrl_key,
         )
-        yield from self.inject(env, nbytes)
+        # inject() inlined: ctrl frames (acks, decisions) outnumber
+        # application frames under replication.
+        cost = self._send_cost.get(dst_phys)
+        if cost is None:
+            cost = self._send_cost_to(dst_phys)
+        if cost[0] > 0.0:
+            yield cost[0]
+        self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "ctrl"))
 
     # ----------------------------------------------------------------- recv
     def irecv(self, ctx: Any, source: int, tag: int, buf: Any = None) -> Generator[Any, Any, PmlRecvRequest]:
@@ -298,7 +464,7 @@ class Pml:
             frame = ep.inbox.popleft()
             yield from self._handle_frame(frame)
         else:
-            yield ep.wait_for_frame()
+            yield ep  # block on the endpoint (allocation-free waiter)
 
     def drain(self) -> Generator:
         """Handle all currently-queued frames without blocking (MPI_Test)."""
@@ -315,14 +481,24 @@ class Pml:
                 yield from handler(payload)
             return
         env: Envelope = frame.payload
-        model = self.fabric.model_for(frame.src, self.proc) if frame.src >= 0 else None
-        if model is not None:
-            yield from self._charge(model.recv_overhead)
+        src = frame.src
+        if src >= 0:
+            overhead = self._recv_cost.get(src)
+            if overhead is None:
+                overhead = self.fabric.model_for(src, self.proc).recv_overhead
+                self._recv_cost[src] = overhead
+            if overhead > 0.0:
+                yield overhead
         if env.kind == "ctrl":
             handler = self.ctrl_handlers.get(env.ctrl_key)
             if handler is None:
                 raise MpiError(f"proc {self.proc}: no handler for ctrl {env.ctrl_key!r}")
-            yield from handler(env)
+            # A handler may be a generator function (driven here) or a
+            # plain function returning None — the latter avoids a
+            # generator allocation for bookkeeping-only handlers.
+            gen = handler(env)
+            if gen is not None:
+                yield from gen
         elif env.kind == "cts":
             yield from self._handle_cts(env)
         elif env.kind == "data":
@@ -336,6 +512,10 @@ class Pml:
         else:  # pragma: no cover - defensive
             raise MpiError(f"unknown frame kind {env.kind!r}")
 
+    #: public alias — the blocking fast paths in :mod:`repro.mpi.api`
+    #: inline ``progress_step`` (pop one frame / block) and drive this
+    handle_frame = _handle_frame
+
     # ---------------------------------------------------- matching plumbing
     def deliver_to_matching(self, env: Envelope) -> Generator:
         """Offer an application envelope to MPI matching.
@@ -345,12 +525,31 @@ class Pml:
         """
         recv = self.matching.arrive(env)
         if recv is not None:
-            yield from self._matched(recv, env, from_unexpected=False)
+            # _matched inlined for the eager case (one call per matched
+            # arrival); rendezvous and error paths take the method.
+            if env.kind == "eager":
+                recv.matched = env
+                for hook in self.on_match:
+                    gen = hook(recv, env)
+                    if gen is not None:
+                        yield from gen
+                recv.lib_complete = True
+                for hook in self.on_recv_complete:
+                    gen = hook(env, recv)
+                    if gen is not None:
+                        yield from gen
+                self._complete_recv(recv, env)
+            else:
+                yield from self._matched(recv, env, from_unexpected=False)
         else:
             if env.kind == "eager":
                 # Fully received at the library level even though unexpected:
                 # this *is* irecvComplete for the vProtocol layer (§3.3).
-                yield from self._fire_recv_complete(env, None)
+                # (_fire_recv_complete inlined: once per unexpected eager.)
+                for hook in self.on_recv_complete:
+                    gen = hook(env, None)
+                    if gen is not None:
+                        yield from gen
             # rts: nothing to do until a receive is posted.
 
     def _matched(self, recv: PmlRecvRequest, env: Envelope, from_unexpected: bool) -> Generator:
@@ -361,7 +560,12 @@ class Pml:
                 yield from gen
         if env.kind == "eager":
             if not from_unexpected:
-                yield from self._fire_recv_complete(env, recv)
+                # _fire_recv_complete inlined: once per matched eager.
+                recv.lib_complete = True
+                for hook in self.on_recv_complete:
+                    gen = hook(env, recv)
+                    if gen is not None:
+                        yield from gen
             self._complete_recv(recv, env)
         elif env.kind == "rts":
             # Clear the sender to transfer the payload.
@@ -412,8 +616,6 @@ class Pml:
                 yield from gen
 
     def _complete_recv(self, recv: PmlRecvRequest, env: Envelope) -> None:
-        import numpy as np
-
         recv.lib_complete = True
         recv.data = env.data
         if recv.buf is not None and isinstance(recv.buf, np.ndarray) and isinstance(env.data, np.ndarray):

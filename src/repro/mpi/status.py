@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
-
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Status"]
 
 #: wildcard source rank (MPI_ANY_SOURCE)
@@ -13,16 +10,40 @@ ANY_SOURCE: int = -1
 ANY_TAG: int = -1
 
 
-@dataclass
 class Status:
     """Outcome of a completed receive.
 
     ``source`` and ``tag`` are the matched values (never wildcards), as in
     ``MPI_Status.MPI_SOURCE`` / ``MPI_TAG``.  ``nbytes`` plays the role of
-    ``MPI_Get_count`` in bytes.
+    ``MPI_Get_count`` in bytes.  One is allocated per completed receive, so
+    a ``__slots__`` class instead of a dataclass.
     """
 
-    source: int = ANY_SOURCE
-    tag: int = ANY_TAG
-    nbytes: int = 0
-    cancelled: bool = False
+    __slots__ = ("source", "tag", "nbytes", "cancelled")
+
+    def __init__(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        nbytes: int = 0,
+        cancelled: bool = False,
+    ) -> None:
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.cancelled = cancelled
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Status)
+            and self.source == other.source
+            and self.tag == other.tag
+            and self.nbytes == other.nbytes
+            and self.cancelled == other.cancelled
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Status(source={self.source}, tag={self.tag}, "
+            f"nbytes={self.nbytes}, cancelled={self.cancelled})"
+        )

@@ -11,59 +11,147 @@ Crash semantics are fail-stop.  A crashed process injects nothing further;
 frames already in flight are still delivered to live destinations (protocol
 layers dedup via per-channel sequence numbers).  Frames addressed to a
 crashed process are dropped on arrival.
+
+Hot-path notes
+--------------
+:meth:`Fabric.inject` runs once per frame and is kept allocation-lean:
+:class:`Frame` is a ``__slots__`` class, delivery is a dedicated slotted
+event (:class:`_Delivery`) instead of a per-frame closure wrapped in a
+kernel callback, and the (src, dst) → cost-model and proc → node mappings
+are resolved once and cached instead of chasing placement dictionaries per
+frame.  The per-channel FIFO clamp (``_last_arrival``) applies to *both*
+the intra-node path (keyed per channel) and the inter-node path (whose
+contention state is keyed per node uplink/downlink): with jitter enabled,
+arrivals on one ordered channel are clamped to be non-decreasing whatever
+path priced them.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.network.topology import Placement
 from repro.sim.kernel import Simulator
-from repro.sim.sync import Event, Mailbox
+from repro.sim.sync import Event
 
 __all__ = ["Frame", "Endpoint", "Fabric"]
 
 
-@dataclass
 class Frame:
     """One unit of transfer on the wire.
 
     ``payload`` is opaque to the fabric; the PML owns its meaning.  ``size``
     is the number of bytes used for costing (header + payload).
+
+    A frame doubles as its own *delivery event*: :meth:`Fabric.inject`
+    stamps the owning fabric and pushes the frame straight onto the kernel
+    heap; :meth:`fire` lands it in the destination inbox.  The seed engine
+    allocated a ``_deliver`` closure plus a ``_Callback`` wrapper per frame
+    — this is zero extra allocations on the same event count.
     """
 
-    src: int
-    dst: int
-    size: int
-    payload: Any
-    kind: str = "data"
-    #: stamped by the fabric at injection / delivery (virtual seconds)
-    sent_at: float = -1.0
-    arrived_at: float = -1.0
+    __slots__ = ("src", "dst", "size", "payload", "kind", "sent_at", "arrived_at", "fabric")
+
+    cancelled = False  # deliveries are never revoked; crash drops at deliver()
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        payload: Any,
+        kind: str = "data",
+        sent_at: float = -1.0,
+        arrived_at: float = -1.0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.payload = payload
+        self.kind = kind
+        #: stamped by the fabric at injection / delivery (virtual seconds)
+        self.sent_at = sent_at
+        self.arrived_at = arrived_at
+        #: owning fabric, stamped at injection (delivery-event plumbing)
+        self.fabric: Optional["Fabric"] = None
+
+    def fire(self) -> None:
+        fabric = self.fabric
+        self.arrived_at = fabric.sim._now
+        fabric.endpoints[self.dst].deliver(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Frame(src={self.src}, dst={self.dst}, size={self.size}, "
+            f"kind={self.kind!r}, sent_at={self.sent_at}, arrived_at={self.arrived_at})"
+        )
 
 
 class Endpoint:
     """Per-physical-process attachment point.
 
-    The inbox is a FIFO of delivered frames.  ``arrival_event`` is re-armed
-    by the progress engine: it fires whenever a new frame lands, waking a
-    process blocked inside an MPI call.  Frames landing while the process is
-    computing simply accumulate (no asynchronous progress — §3.3).
+    The inbox is a FIFO of delivered frames.  The armed waiter event is
+    re-armed by the progress engine: it fires whenever a new frame lands,
+    waking a process blocked inside an MPI call.  Frames landing while the
+    process is computing simply accumulate (no asynchronous progress — §3.3).
+
+    Concurrent waiters collapse onto one armed head event plus a waiter
+    list: the head is succeeded by :meth:`deliver`, and the listed waiters
+    are succeeded — in registration order — when the head fires.  The seed
+    engine built the same wake-up cascade out of one nested closure per
+    waiter; the list form does it with a single callback per armed head.
     """
+
+    __slots__ = (
+        "sim",
+        "proc",
+        "inbox",
+        "alive",
+        "_waiter",
+        "_pwaiter",
+        "_chain",
+        "_chain_head",
+        "_frame_label",
+        "frames_received",
+        "frames_sent",
+        "bytes_received",
+        "bytes_sent",
+    )
+
+    #: blocker-protocol attribute (see Process._wait_on): an endpoint is
+    #: never "triggered" — a parked process is woken by deliver()
+    triggered = False
 
     def __init__(self, sim: Simulator, proc: int) -> None:
         self.sim = sim
         self.proc = proc
+        self._frame_label = f"frame@{proc}"
         self.inbox: Deque[Frame] = deque()
         self.alive = True
         self._waiter: Optional[Event] = None
+        #: a process parked directly on this endpoint (blocker protocol:
+        #: the allocation-free fast path the MPI wait loops use by
+        #: yielding the endpoint itself instead of a waiter event)
+        self._pwaiter: Optional[Any] = None
+        #: waiters chained behind the armed head (see class docstring)
+        self._chain: List[Event] = []
+        self._chain_head: Optional[Event] = None
         #: observability counters
         self.frames_received = 0
         self.frames_sent = 0
         self.bytes_received = 0
         self.bytes_sent = 0
+
+    @property
+    def label(self) -> str:
+        """Diagnostics label (deadlock reports show what blocks a process)."""
+        return self._frame_label
+
+    def block_process(self, process: Any) -> None:
+        """Park *process* until a frame lands (Process blocker protocol)."""
+        self._pwaiter = process
 
     def deliver(self, frame: Frame) -> None:
         if not self.alive:
@@ -71,28 +159,46 @@ class Endpoint:
         self.inbox.append(frame)
         self.frames_received += 1
         self.bytes_received += frame.size
-        if self._waiter is not None and not self._waiter.triggered:
-            waiter, self._waiter = self._waiter, None
+        pwaiter = self._pwaiter
+        if pwaiter is not None:
+            # Wake the parked process exactly as a waiter event would:
+            # one scheduled heap entry at the current time.
+            self._pwaiter = None
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (sim._now, sim._seq, pwaiter))
+            return
+        waiter = self._waiter
+        if waiter is not None and not waiter.triggered:
+            self._waiter = None
             waiter.succeed(None)
 
     def wait_for_frame(self) -> Event:
         """Event that fires as soon as the inbox is (or becomes) non-empty."""
-        ev = Event(self.sim, label=f"frame@{self.proc}")
+        ev = Event(self.sim, label=self._frame_label)
         if self.inbox:
             ev.succeed(None)
+            return ev
+        head = self._waiter
+        if head is not None and not head.triggered:
+            # Chain: multiple waiters collapse onto one underlying arm and
+            # wake, in order, when the head fires (after the head's own
+            # waiter has resumed — preserving the seed engine's wake order).
+            if self._chain_head is not head:
+                self._chain_head = head
+                chain: List[Event] = []
+                self._chain = chain
+                head.add_callback(lambda _e, chain=chain: _wake_chain(chain))
+            self._chain.append(ev)
         else:
-            if self._waiter is not None and not self._waiter.triggered:
-                # Chain: multiple waiters collapse onto one underlying arm.
-                prev = self._waiter
-
-                def fanout(e: Event, a: Event = prev, b: Event = ev) -> None:
-                    if not b.triggered:
-                        b.succeed(None)
-
-                prev.add_callback(fanout)
-            else:
-                self._waiter = ev
+            self._waiter = ev
         return ev
+
+
+def _wake_chain(chain: List[Event]) -> None:
+    for ev in chain:
+        if not ev.triggered:
+            ev.succeed(None)
 
 
 class Fabric:
@@ -112,16 +218,26 @@ class Fabric:
     ) -> None:
         self.sim = sim
         self.placement = placement
-        self.endpoints: Dict[int, Endpoint] = {
-            proc: Endpoint(sim, proc) for proc in range(len(placement))
-        }
-        self._channel_free: Dict[Tuple[int, int], float] = {}
-        # Shared per-node NIC: all inter-node traffic of a node serializes
-        # through its uplink/downlink (8 ranks per node share one HCA in the
-        # paper's testbed).  Cut-through: latency overlaps serialization.
-        self._uplink_free: Dict[int, float] = {}
-        self._downlink_free: Dict[int, float] = {}
+        n_procs = len(placement)
+        #: indexed by physical process id (ids are dense 0..n-1; a list
+        #: makes the two lookups per frame cheaper than a dict)
+        self.endpoints: List[Endpoint] = [Endpoint(sim, proc) for proc in range(n_procs)]
+        # Per ordered-channel pricing state, one dict lookup per inject:
+        #   [model, src_node_busy | None, dst_node_busy | None,
+        #    channel_free, last_arrival]
+        # Inter-node channels share per-node [uplink_free, downlink_free]
+        # cells (8 ranks per node share one HCA in the paper's testbed;
+        # cut-through: latency overlaps serialization); intra-node channels
+        # use the per-channel ``channel_free`` slot.  ``last_arrival`` is
+        # the per-channel FIFO clamp, initialized here rather than lazily.
+        self._chan: Dict[Tuple[int, int], list] = {}
+        self._node_busy: Dict[int, list] = {}
         self._jitter = jitter
+        # Hot-path caches: placement and cluster topology are immutable for
+        # the lifetime of a fabric, so resolve proc → node once and memoize
+        # (src, dst) → cost model on first use.
+        self._node_of: List[int] = [placement.node_of(p) for p in range(n_procs)]
+        self._model_cache: Dict[Tuple[int, int], Any] = {}
         self.on_crash: List[Callable[[int], None]] = []
         #: totals for message-complexity ablations (mirror vs parallel)
         self.total_frames = 0
@@ -133,12 +249,37 @@ class Fabric:
         return self.endpoints[proc]
 
     def model_for(self, src: int, dst: int):
-        return self.placement.cluster.model_for(
-            self.placement.node_of(src), self.placement.node_of(dst)
-        )
+        key = (src, dst)
+        model = self._model_cache.get(key)
+        if model is None:
+            node_of = self._node_of
+            model = self.placement.cluster.model_for(node_of[src], node_of[dst])
+            self._model_cache[key] = model
+        return model
 
     def is_alive(self, proc: int) -> bool:
         return self.endpoints[proc].alive
+
+    def _chan_state(self, key: Tuple[int, int]) -> list:
+        src, dst = key
+        node_of = self._node_of
+        src_node = node_of[src]
+        dst_node = node_of[dst]
+        model = self.placement.cluster.model_for(src_node, dst_node)
+        self._model_cache.setdefault(key, model)
+        if src_node != dst_node:
+            node_busy = self._node_busy
+            src_busy = node_busy.get(src_node)
+            if src_busy is None:
+                src_busy = node_busy[src_node] = [0.0, 0.0]
+            dst_busy = node_busy.get(dst_node)
+            if dst_busy is None:
+                dst_busy = node_busy[dst_node] = [0.0, 0.0]
+            state = [model, src_busy, dst_busy, 0.0, 0.0]
+        else:
+            state = [model, None, None, 0.0, 0.0]
+        self._chan[key] = state
+        return state
 
     # ------------------------------------------------------------ transfers
     def inject(self, frame: Frame) -> float:
@@ -147,51 +288,64 @@ class Fabric:
         The caller (PML) is responsible for charging sender CPU overhead;
         the fabric charges wire serialization and propagation only.
         """
-        src_ep = self.endpoints[frame.src]
+        src = frame.src
+        dst = frame.dst
+        src_ep = self.endpoints[src]
         if not src_ep.alive:
             # A crashed process cannot send; drop silently (the process is
             # being torn down and no correctness property may depend on it).
-            return self.sim.now
-        model = self.model_for(frame.src, frame.dst)
-        key = (frame.src, frame.dst)
-        ser = model.serialization(frame.size)
-        src_node = self.placement.node_of(frame.src)
-        dst_node = self.placement.node_of(frame.dst)
-        if src_node != dst_node:
+            return self.sim._now
+        key = (src, dst)
+        state = self._chan.get(key)
+        if state is None:
+            state = self._chan_state(key)
+        model = state[0]
+        now = self.sim._now
+        size = frame.size
+        ser = model.serialization(size)
+        src_busy = state[1]
+        if src_busy is not None:
             # Uplink occupancy at the source node.
-            t_up = max(self.sim.now, self._uplink_free.get(src_node, 0.0))
-            self._uplink_free[src_node] = t_up + ser
+            t_up = src_busy[0]
+            if t_up < now:
+                t_up = now
+            src_busy[0] = t_up + ser
             # Head reaches the destination NIC after the wire latency;
             # the frame then drains through the shared downlink.
-            t_down = max(t_up + model.latency, self._downlink_free.get(dst_node, 0.0))
+            t_down = t_up + model.latency
+            dst_busy = state[2]
+            if t_down < dst_busy[1]:
+                t_down = dst_busy[1]
             arrival = t_down + ser
-            self._downlink_free[dst_node] = arrival
+            dst_busy[1] = arrival
         else:
-            depart = max(self.sim.now, self._channel_free.get(key, 0.0))
+            depart = state[3]
+            if depart < now:
+                depart = now
             arrival = depart + ser + model.latency
-            self._channel_free[key] = arrival
+            state[3] = arrival
         if self._jitter is not None:
-            arrival += max(0.0, self._jitter())
+            jit = self._jitter()
+            if jit > 0.0:
+                arrival += jit
         # FIFO guarantee: serialization already enforces non-decreasing
-        # arrivals per channel when jitter is zero; with jitter, clamp.
-        frame.sent_at = self.sim.now
+        # arrivals per channel when jitter is zero; with jitter, clamp —
+        # per ordered channel, covering the per-node-priced inter-node path.
+        if arrival < state[4]:
+            arrival = state[4]
+        state[4] = arrival
+        frame.sent_at = now
         src_ep.frames_sent += 1
-        src_ep.bytes_sent += frame.size
+        src_ep.bytes_sent += size
         self.total_frames += 1
-        self.total_bytes += frame.size
-        self.frames_by_kind[frame.kind] = self.frames_by_kind.get(frame.kind, 0) + 1
-        last = getattr(self, "_last_arrival", None)
-        if last is None:
-            self._last_arrival = {}
-        prev = self._last_arrival.get(key, 0.0)
-        arrival = max(arrival, prev)
-        self._last_arrival[key] = arrival
-
-        def _deliver() -> None:
-            frame.arrived_at = self.sim.now
-            self.endpoints[frame.dst].deliver(frame)
-
-        self.sim.call_at(arrival, _deliver)
+        self.total_bytes += size
+        by_kind = self.frames_by_kind
+        kind = frame.kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        frame.fabric = self
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._queue, (arrival, sim._seq, frame))
         return arrival
 
     # --------------------------------------------------------------- faults

@@ -6,19 +6,44 @@ the event's value is sent back into the generator (failures are thrown in).
 ``yield from`` composes sub-generators naturally, which is how the MPI API
 facade exposes blocking calls.
 
+A process may also yield a bare non-negative ``float``/``int``: a *CPU
+charge*.  The process is then scheduled directly on the kernel heap and
+resumed (with ``None``) that many virtual seconds later — observationally
+identical to yielding ``Timeout(sim, seconds)``, including the dispatched
+event count and FIFO sequencing, but without allocating an event or
+running the callback machinery.  CPU-overhead charges are the single most
+common event in MPI-heavy workloads, which makes this fast path worth its
+special case.
+
 Crash injection: :meth:`Process.crash` throws :class:`ProcessCrashed` into
 the generator at the *current* simulation time, modelling fail-stop
-behaviour.  A crashed process never runs again.
+behaviour.  A crashed process never runs again.  A charge-scheduled heap
+entry for a crashed process fires as a no-op (and is still counted, just
+as a dead process's pending Timeout would be).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.kernel import Simulator, SimulationError
 from repro.sim.sync import Event, Interrupt
 
 __all__ = ["Process", "ProcessCrashed", "ProcessFailure"]
+
+
+class _Charging:
+    """Sentinel ``_waiting_on`` marker while a process sleeps on a charge."""
+
+    label = "cpu-charge"
+    triggered = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<charging>"
+
+
+_CHARGING = _Charging()
 
 
 class ProcessCrashed(Interrupt):
@@ -50,6 +75,22 @@ class Process:
         returns, raises, or crashes.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_gen",
+        "_send",
+        "_throw",
+        "_resume_cb",
+        "_waiting_on",
+        "alive",
+        "crashed",
+        "value",
+        "exception",
+        "terminated",
+        "on_exit",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -65,6 +106,12 @@ class Process:
         self.sim = sim
         self.name = name
         self._gen = generator
+        # Resuming is the single hottest call in the simulator: one per
+        # dispatched event.  Bind the generator entry points and our own
+        # callback once instead of materializing bound methods per event.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self._waiting_on: Optional[Event] = None
         self.alive = True
         self.crashed = False
@@ -76,8 +123,11 @@ class Process:
         # Kick off at the current time via the event queue so construction
         # order, not construction *site*, determines first-step order.
         start = Event(sim, label=f"start({name})")
-        start.add_callback(lambda ev: self._resume(ev))
+        start.add_callback(self._resume_cb)
         start.succeed(None)
+
+    #: charge heap entries are never revoked (fire() guards on alive)
+    cancelled = False
 
     # ------------------------------------------------------------- stepping
     def _resume(self, ev: Event) -> None:
@@ -85,10 +135,13 @@ class Process:
             return
         self._waiting_on = None
         try:
-            if ev.ok:
-                target = self._gen.send(ev.value)
+            # ev is always completed here (it just fired), so read the
+            # slots directly rather than going through the checking
+            # properties.
+            if ev._ok:
+                target = self._send(ev._value)
             else:
-                target = self._gen.throw(ev.value)
+                target = self._throw(ev._value)
         except StopIteration as stop:
             self._finish(value=stop.value)
             return
@@ -98,17 +151,107 @@ class Process:
         except BaseException as exc:  # noqa: BLE001 - escalate with context
             self._finish(exception=exc)
             return
-        if not isinstance(target, Event):
-            self._finish(
-                exception=SimulationError(
-                    f"process {self.name!r} yielded {target!r}; processes may "
-                    "only yield Event instances (use `yield from` for "
-                    "sub-generators)"
-                )
-            )
+        # _wait_on inlined: one call per dispatched event.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            if target._fired:
+                target.add_callback(self._resume_cb)
+            else:
+                callbacks = target.callbacks
+                if callbacks is None:
+                    target.callbacks = [self._resume_cb]
+                else:
+                    callbacks.append(self._resume_cb)
             return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        cls = type(target)
+        if (cls is float or cls is int) and target >= 0:
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            self._waiting_on = _CHARGING
+            return
+        self._wait_on(target)
+
+    def fire(self) -> None:
+        """Kernel entry point when this process was charge-scheduled.
+
+        Equivalent to a Timeout with value ``None`` firing: resume the
+        generator, then wait on whatever it yields next.
+        """
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            target = self._send(None)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except ProcessCrashed:
+            self._finish(crashed=True)
+            return
+        except BaseException as exc:  # noqa: BLE001 - escalate with context
+            self._finish(exception=exc)
+            return
+        # _wait_on inlined: one call per dispatched event.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            if target._fired:
+                target.add_callback(self._resume_cb)
+            else:
+                callbacks = target.callbacks
+                if callbacks is None:
+                    target.callbacks = [self._resume_cb]
+                else:
+                    callbacks.append(self._resume_cb)
+            return
+        cls = type(target)
+        if (cls is float or cls is int) and target >= 0:
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            self._waiting_on = _CHARGING
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        """Suspend until *target* — an Event, or a float/int CPU charge."""
+        if isinstance(target, Event):
+            self._waiting_on = target
+            # Event.add_callback inlined (one call per dispatched event):
+            # the immediate-run path for already-fired events falls back to
+            # the real method.
+            if target._fired:
+                target.add_callback(self._resume_cb)
+            else:
+                callbacks = target.callbacks
+                if callbacks is None:
+                    target.callbacks = [self._resume_cb]
+                else:
+                    callbacks.append(self._resume_cb)
+            return
+        cls = type(target)
+        if (cls is float or cls is int) and target >= 0:
+            # CPU charge: schedule this process directly (see module docs).
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            self._waiting_on = _CHARGING
+            return
+        # Blocker protocol: an object (e.g. a fabric endpoint) that parks
+        # the process itself and later schedules it directly — the
+        # allocation-free analogue of yielding one of its waiter events.
+        block = getattr(target, "block_process", None)
+        if block is not None:
+            self._waiting_on = target
+            block(self)
+            return
+        self._finish(
+            exception=SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances, non-negative float/int CPU "
+                "charges, or blockers (use `yield from` for sub-generators)"
+            )
+        )
 
     def _finish(
         self,

@@ -8,11 +8,22 @@ These are the objects generator processes yield.  A process may yield:
 
 Values flow back into the generator through ``.send(value)``; failures are
 thrown in with ``.throw(exc)``.
+
+Hot-path notes
+--------------
+Events are the unit of simulation work — every frame delivery, CPU charge
+and process wake-up allocates one — so the class is kept deliberately lean:
+``__slots__`` everywhere, the callback list allocated lazily on first
+``add_callback``, and zero-delay completion pushed straight onto the
+simulator heap without going through :meth:`Simulator.schedule`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+from heapq import heappush
+from typing import Any, Callable, Deque, Iterable, List, Optional
+
+from collections import deque
 
 from repro.sim.kernel import SimulationError, Simulator
 
@@ -38,13 +49,14 @@ class Event:
     simulator queue; callbacks run when the event fires.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "cancelled", "label")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_fired", "cancelled", "label")
 
     def __init__(self, sim: Simulator, label: str = "") -> None:
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._fired = False
         self.cancelled = False
         self.label = label
 
@@ -57,7 +69,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event has fired and callbacks have run."""
-        return self.callbacks is None
+        return self._fired
 
     @property
     def ok(self) -> bool:
@@ -77,7 +89,12 @@ class Event:
             raise SimulationError(f"event {self.label!r} already completed")
         self._value = value
         self._ok = True
-        self.sim.schedule(self, delay)
+        if delay == 0.0:
+            sim = self.sim
+            sim._seq += 1
+            heappush(sim._queue, (sim._now, sim._seq, self))
+        else:
+            self.sim.schedule(self, delay)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -97,12 +114,15 @@ class Event:
         If the event has already fired, *fn* runs immediately; this keeps
         late waiters correct.
         """
-        if self.callbacks is None:
+        if self._fired:
             fn(self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
     def fire(self) -> None:
+        self._fired = True
         callbacks, self.callbacks = self.callbacks, None
         if callbacks:
             for fn in callbacks:
@@ -114,13 +134,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds ``delay`` seconds after construction."""
+    """An event that succeeds ``delay`` seconds after construction.
 
-    __slots__ = ()
+    Construction is the PML's per-frame CPU-charge path, so the generic
+    ``Event.__init__`` + ``succeed`` pair is inlined into direct slot
+    writes plus one heap push.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
-        super().__init__(sim, label=f"timeout({delay})")
-        self.succeed(value, delay=delay)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        self.sim = sim
+        self.callbacks = None
+        self._value = value
+        self._ok = True
+        self._fired = False
+        self.cancelled = False
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+
+    @property
+    def label(self) -> str:  # shadows the Event slot; Timeouts are immutable
+        return f"timeout({self.delay})"
 
 
 class AllOf(Event):
@@ -186,8 +224,8 @@ class Mailbox:
 
     def __init__(self, sim: Simulator, label: str = "") -> None:
         self.sim = sim
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
         self.label = label
 
     def __len__(self) -> int:
@@ -197,16 +235,16 @@ class Mailbox:
         self._items.append(item)
         # Wake exactly one waiter per item, preserving FIFO fairness.
         while self._getters and self._items:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             if getter.triggered:
                 continue
-            getter.succeed(self._items.pop(0))
+            getter.succeed(self._items.popleft())
 
     def get(self) -> Event:
         """Return an event yielding the next item (immediately if queued)."""
         ev = Event(self.sim, label=f"mailbox.get({self.label})")
         if self._items:
-            ev.succeed(self._items.pop(0))
+            ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev
@@ -214,12 +252,13 @@ class Mailbox:
     def get_nowait(self) -> Any:
         if not self._items:
             raise SimulationError(f"mailbox {self.label!r} is empty")
-        return self._items.pop(0)
+        return self._items.popleft()
 
     def peek_all(self) -> List[Any]:
         """Non-destructive snapshot of queued items (diagnostics only)."""
         return list(self._items)
 
     def drain(self) -> List[Any]:
-        items, self._items = self._items, []
+        items = list(self._items)
+        self._items.clear()
         return items

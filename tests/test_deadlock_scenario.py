@@ -74,7 +74,9 @@ class _LateAckHandle:
         return self._inner.pml_req
 
     def advance(self):
-        yield from self._inner.advance()
+        gen = self._inner.advance()
+        if gen is not None:
+            yield from gen
         if self._inner.pml_req.done:
             for env in list(self._proto._unacked):
                 if env.ctx == self._ctx:

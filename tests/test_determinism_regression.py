@@ -1,0 +1,167 @@
+"""Determinism regression: the optimized engine must be bit-identical.
+
+The tentpole perf work (indexed matching, slotted hot-path objects, the
+no-trace dispatch loop, copy-on-write payloads) is only admissible because
+it does not change *what* the simulator computes: virtual times, dispatched
+event counts, and frame counts are part of the reproduction's contract.
+
+``GOLDEN`` below was recorded from the seed engine (commit 3bc06e8, linear
+matching, closure-based delivery) by running this module as a script::
+
+    PYTHONPATH=src python tests/test_determinism_regression.py
+
+Each scenario runs twice per test: run-to-run equality catches accidental
+nondeterminism (e.g. iteration over an unordered container on the hot
+path), equality against GOLDEN catches semantic drift of the engine.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.harness.runner import Job, cluster_for
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+# The fingerprinted workloads are the *same* functions the perf harness
+# measures — imported, not copied, so the goldens always pin the workload
+# shape that BENCH_engine.json's trajectory is measured on.
+from bench import anysource_fanin, ring_collectives  # noqa: E402
+
+
+def pingpong(mpi, rounds=30):
+    peer = mpi.rank ^ 1
+    if peer >= mpi.size:
+        return 0
+    for r in range(rounds):
+        if mpi.rank < peer:
+            yield from mpi.send(np.arange(4, dtype=np.float64), dest=peer, tag=r % 3)
+            d, _ = yield from mpi.recv(source=peer, tag=r % 3)
+        else:
+            d, _ = yield from mpi.recv(source=peer, tag=r % 3)
+            yield from mpi.send(np.arange(4, dtype=np.float64), dest=peer, tag=r % 3)
+    return rounds
+
+
+# ----------------------------------------------------------------- scenarios
+def _job(protocol: str, n_ranks: int, degree: int = 2) -> Job:
+    if protocol == "native":
+        cfg = ReplicationConfig(degree=1, protocol="native")
+    else:
+        cfg = ReplicationConfig(degree=degree, protocol=protocol)
+    return Job(n_ranks, cfg=cfg, cluster=cluster_for(n_ranks, cfg.degree))
+
+
+def run_sdr_anysource():
+    return _job("sdr", 6).launch(anysource_fanin, rounds=20).run(), None
+
+
+def run_leader_anysource():
+    return _job("leader", 6).launch(anysource_fanin, rounds=20).run(), None
+
+
+def run_mirror_pingpong():
+    return _job("mirror", 4).launch(pingpong, rounds=30).run(), None
+
+
+def run_native_collectives():
+    return _job("native", 8).launch(ring_collectives, iters=12).run(), None
+
+
+def run_sdr_crash_failover():
+    job = _job("sdr", 4).launch(anysource_fanin, rounds=40)
+    job.crash(rank=1, rep=1, at=2e-4)
+    return job.run(), job
+
+
+SCENARIOS = {
+    "sdr-anysource": run_sdr_anysource,
+    "leader-anysource": run_leader_anysource,
+    "mirror-pingpong": run_mirror_pingpong,
+    "native-collectives": run_native_collectives,
+    "sdr-crash-failover": run_sdr_crash_failover,
+}
+
+
+def fingerprint(res) -> dict:
+    """Engine-behaviour fingerprint: exact virtual time + effort counters."""
+    return {
+        "runtime": repr(res.runtime),
+        "events": res.events,
+        "frames": res.fabric["frames"],
+        "bytes": res.fabric["bytes"],
+        "by_kind": dict(sorted(res.fabric["by_kind"].items())),
+        "unexpected": res.stat_total("unexpected_count"),
+        "acks": res.stat_total("acks_sent"),
+    }
+
+
+# Recorded from the seed engine (linear MatchEngine, dataclass frames,
+# closure-based fabric delivery) — see module docstring.
+GOLDEN = {
+    "leader-anysource": {
+        "runtime": "0.0003385975999999975",
+        "events": 4265,
+        "frames": 900,
+        "bytes": 19200,
+        "by_kind": {"ctrl": 500, "eager": 400},
+        "unexpected": 195,
+        "acks": 400,
+    },
+    "mirror-pingpong": {
+        "runtime": "4.581839999999999e-05",
+        "events": 1737,
+        "frames": 480,
+        "bytes": 15360,
+        "by_kind": {"eager": 480},
+        "unexpected": 0,
+        "acks": 0,
+    },
+    "native-collectives": {
+        "runtime": "0.00020557440000000058",
+        "events": 2430,
+        "frames": 576,
+        "bytes": 6302976,
+        "by_kind": {"cts": 96, "data": 96, "eager": 288, "rts": 96},
+        "unexpected": 0,
+        "acks": 0,
+    },
+    "sdr-anysource": {
+        "runtime": "0.00028157400000000063",
+        "events": 3924,
+        "frames": 800,
+        "bytes": 16000,
+        "by_kind": {"ctrl": 400, "eager": 400},
+        "unexpected": 172,
+        "acks": 400,
+    },
+    "sdr-crash-failover": {
+        "runtime": "0.00032588159999999785",
+        "events": 4344,
+        "frames": 898,
+        "bytes": 17600,
+        "by_kind": {"ctrl": 434, "eager": 464},
+        "unexpected": 196,
+        "acks": 434,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fingerprint_stable_and_golden(name):
+    res1, _ = SCENARIOS[name]()
+    res2, _ = SCENARIOS[name]()
+    fp1, fp2 = fingerprint(res1), fingerprint(res2)
+    assert fp1 == fp2, f"{name}: run-to-run nondeterminism"
+    assert fp1 == GOLDEN[name], f"{name}: engine drifted from seed-engine golden"
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps({name: fingerprint(fn()[0]) for name, fn in sorted(SCENARIOS.items())}, indent=4))

@@ -111,6 +111,22 @@ class TestFabric:
         last = fabric.endpoint(1).inbox[-1]
         assert last.arrived_at == pytest.approx(n * model.serialization(size) + model.latency)
 
+    def test_fifo_per_channel_inter_node_under_jitter(self):
+        # The FIFO clamp is keyed per ordered (src, dst) channel even though
+        # inter-node contention is priced per node uplink/downlink: with
+        # adversarial jitter (large then zero), a later frame's arrival must
+        # be clamped to never precede an earlier frame on the same channel.
+        jolts = iter([50e-6, 0.0, 0.0, 0.0])
+        sim, fabric = _fabric(nodes=2, cores=1, jitter=lambda: next(jolts, 0.0))
+        for i in range(4):
+            fabric.inject(Frame(src=0, dst=1, size=10, payload=i))
+        sim.run()
+        arrived = [f.arrived_at for f in fabric.endpoint(1).inbox]
+        assert [f.payload for f in fabric.endpoint(1).inbox] == [0, 1, 2, 3]
+        assert arrived == sorted(arrived)
+        # the jolted first frame pushes everything behind it
+        assert all(t >= 50e-6 for t in arrived)
+
     def test_nic_contention_serializes_node_traffic(self):
         # two senders on node 0, two receivers on node 1: the shared uplink
         # forces the second transfer to queue behind the first.

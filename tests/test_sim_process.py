@@ -63,12 +63,61 @@ def test_escaped_exception_recorded_and_join_fails(sim):
 
 def test_yielding_non_event_is_an_error(sim):
     def body():
-        yield 42
+        yield "not an event"
 
     p = Process(sim, body())
     sim.run()
     assert p.exception is not None
     assert "yield" in str(p.exception)
+
+
+def test_yielding_negative_charge_is_an_error(sim):
+    def body():
+        yield -1.0
+
+    p = Process(sim, body())
+    sim.run()
+    assert p.exception is not None
+    assert "yield" in str(p.exception)
+
+
+def test_yielding_float_charges_virtual_time(sim):
+    """`yield seconds` is the allocation-free equivalent of a Timeout."""
+    seen = []
+
+    def body():
+        yield 1.5
+        seen.append(sim.now)
+        yield 0.5
+        seen.append(sim.now)
+        return "done"
+
+    p = Process(sim, body())
+    sim.run()
+    assert seen == [1.5, 2.0]
+    assert p.value == "done"
+    assert sim.events_dispatched == 4  # start + two charges + terminated
+
+
+def test_float_charge_counts_events_like_timeout(sim):
+    """Charge scheduling is observationally identical to Timeout yields."""
+    from repro.sim.kernel import Simulator
+
+    def body_timeout(s):
+        yield Timeout(s, 1.0)
+        yield Timeout(s, 2.0)
+
+    def body_charge(s):
+        yield 1.0
+        yield 2.0
+
+    s1, s2 = Simulator(), Simulator()
+    Process(s1, body_timeout(s1))
+    Process(s2, body_charge(s2))
+    s1.run()
+    s2.run()
+    assert s1.events_dispatched == s2.events_dispatched
+    assert s1.now == s2.now
 
 
 def test_non_generator_body_rejected(sim):

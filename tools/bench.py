@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Engine benchmark: events/sec and wall-clock on the ablation workloads.
+
+Measures the *host-side* cost of the simulation engine (the pure-Python
+event loop, matching, PML, fabric) on deterministic workloads shaped like
+the paper's ablations.  Scientific outputs (virtual runtimes) are invariant
+under engine optimisation — this harness tracks the perf trajectory and
+gates regressions.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py              # run, print table
+    PYTHONPATH=src python tools/bench.py --quick      # smaller rounds (CI smoke)
+    PYTHONPATH=src python tools/bench.py --update     # rewrite BENCH_engine.json
+    PYTHONPATH=src python tools/bench.py --check      # fail on >20% events/s regression
+    PYTHONPATH=src python tools/bench.py --baseline LABEL  # record as 'baseline'
+
+``BENCH_engine.json`` (repo root) holds two snapshots: ``baseline`` (the
+pre-refactor seed engine) and ``current`` (the engine as committed).
+``--check`` compares a fresh run against ``current`` and fails when any
+workload's events/sec drops below ``(1 - tolerance)`` of the committed
+number, so future PRs regress against a measured trajectory, not vibes.
+Host speed varies across machines; the committed numbers are refreshed with
+``--update`` whenever the engine intentionally changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import ReplicationConfig  # noqa: E402
+from repro.harness.runner import Job, cluster_for  # noqa: E402
+from repro.mpi.datatypes import Phantom  # noqa: E402
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(ROOT, "BENCH_engine.json")
+
+#: events/sec regression tolerance for --check (fraction of committed value)
+TOLERANCE = 0.20
+
+
+# --------------------------------------------------------------- workloads
+def anysource_fanin(mpi, rounds=100):
+    """The leader-ablation workload: ANY_SOURCE fan-in/fan-out (§3.1)."""
+    if mpi.rank == 0:
+        total = 0.0
+        for _ in range(rounds):
+            for _ in range(mpi.size - 1):
+                d, _st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
+                total += float(d[0])
+            for dst in range(1, mpi.size):
+                yield from mpi.send(np.array([total]), dest=dst, tag=3)
+        return total
+    acc = 0.0
+    for _ in range(rounds):
+        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
+        d, _ = yield from mpi.recv(source=0, tag=3)
+        acc = float(d[0])
+    return acc
+
+
+def ring_collectives(mpi, iters=40, nbytes=65536):
+    """Modeled-payload ring sendrecv + allreduce (collective/rendezvous path)."""
+    acc = 0.0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for _ in range(iters):
+        yield from mpi.sendrecv(Phantom(nbytes), dest=right, source=left, sendtag=1)
+        s = yield from mpi.allreduce(float(mpi.rank), op="sum")
+        acc += float(s)
+        yield from mpi.compute(1e-6)
+    return acc
+
+
+def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
+    if protocol == "native":
+        cfg = ReplicationConfig(degree=1, protocol="native")
+    else:
+        cfg = ReplicationConfig(degree=2, protocol=protocol)
+    job = Job(n_ranks, cfg=cfg, cluster=cluster_for(n_ranks, cfg.degree))
+    return job.launch(app, **kwargs).run()
+
+
+def _workloads(quick: bool) -> Dict[str, Callable[[], Any]]:
+    rounds = 30 if quick else 100
+    iters = 15 if quick else 40
+    return {
+        # The tentpole target: leader-based replication inflates the
+        # unexpected queue (§3.1) — historically quadratic in the linear
+        # matching engine.
+        "leader-anysource": lambda: _run_job(
+            "leader", anysource_fanin, n_ranks=16, rounds=rounds
+        ),
+        "sdr-anysource": lambda: _run_job(
+            "sdr", anysource_fanin, n_ranks=16, rounds=rounds
+        ),
+        "native-anysource": lambda: _run_job(
+            "native", anysource_fanin, n_ranks=16, rounds=rounds
+        ),
+        "sdr-collectives": lambda: _run_job(
+            "sdr", ring_collectives, n_ranks=16, iters=iters
+        ),
+    }
+
+
+# --------------------------------------------------------------- measuring
+def measure(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-*repeats* host time; asserts run-to-run determinism."""
+    best = None
+    events = frames = None
+    runtime = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = fn()
+        dt = time.perf_counter() - t0
+        if events is None:
+            events, frames, runtime = res.events, res.fabric["frames"], res.runtime
+        else:
+            assert res.events == events, "non-deterministic event count!"
+            assert res.fabric["frames"] == frames, "non-deterministic frame count!"
+            assert res.runtime == runtime, "non-deterministic virtual runtime!"
+        if best is None or dt < best:
+            best = dt
+    return {
+        "host_seconds": round(best, 6),
+        "events": events,
+        "events_per_sec": round(events / best, 1),
+        "virtual_runtime": runtime,
+        "total_frames": frames,
+    }
+
+
+def run_suite(quick: bool, repeats: int = 3) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, fn in _workloads(quick).items():
+        out[name] = measure(fn, repeats=repeats)
+        print(
+            f"  {name:<20s} {out[name]['events_per_sec']:>12,.0f} ev/s   "
+            f"{out[name]['host_seconds'] * 1e3:>8.1f} ms   "
+            f"{out[name]['events']:>9,d} events"
+        )
+    return out
+
+
+def load_record() -> Dict[str, Any]:
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as fh:
+            return json.load(fh)
+    return {"schema": 1}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true", help="smaller rounds (CI smoke)")
+    ap.add_argument("--check", action="store_true", help="fail on >20%% ev/s regression")
+    ap.add_argument("--update", action="store_true", help="rewrite the 'current' snapshot")
+    ap.add_argument("--baseline", metavar="LABEL", help="record this run as 'baseline'")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"engine bench ({mode}, best of {args.repeats}):")
+    results = run_suite(args.quick, repeats=args.repeats)
+
+    record = load_record()
+    if args.baseline:
+        snap = record.setdefault("baseline", {"label": args.baseline, "modes": {}})
+        snap["label"] = args.baseline
+        snap.setdefault("modes", {})[mode] = results
+        with open(BENCH_PATH, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline ({mode}) recorded -> {BENCH_PATH}")
+        return 0
+
+    if args.update:
+        snap = record.setdefault("current", {"label": "committed engine", "modes": {}})
+        snap.setdefault("modes", {})[mode] = results
+        base = record.get("baseline", {}).get("modes", {}).get(mode, {})
+        if base:
+            record.setdefault("speedup_vs_baseline", {})[mode] = {
+                name: round(results[name]["events_per_sec"] / base[name]["events_per_sec"], 2)
+                for name in results
+                if name in base
+            }
+        with open(BENCH_PATH, "w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"current snapshot ({mode}) updated -> {BENCH_PATH}")
+        return 0
+
+    if args.check:
+        committed = record.get("current", {}).get("modes", {}).get(mode, {})
+        if not committed:
+            print(f"no committed 'current' snapshot for mode {mode!r}; run --update first", file=sys.stderr)
+            return 2
+        failed = []
+        for name, res in results.items():
+            ref = committed.get(name)
+            if ref is None:
+                continue
+            floor = (1.0 - TOLERANCE) * ref["events_per_sec"]
+            status = "ok" if res["events_per_sec"] >= floor else "REGRESSION"
+            print(
+                f"  check {name:<20s} {res['events_per_sec']:>12,.0f} ev/s "
+                f"(committed {ref['events_per_sec']:>12,.0f}, floor {floor:,.0f}) {status}"
+            )
+            if res["events_per_sec"] < floor:
+                failed.append(name)
+        if failed:
+            print(f"events/sec regression (> {TOLERANCE:.0%}) in: {', '.join(failed)}", file=sys.stderr)
+            return 1
+        print("bench check passed")
+        return 0
+
+    base = record.get("baseline", {}).get("modes", {}).get(mode, {})
+    for name, res in results.items():
+        if name in base:
+            speed = res["events_per_sec"] / base[name]["events_per_sec"]
+            print(f"  {name:<20s} {speed:5.2f}x vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests + engine bench smoke.
+#
+# Usage:  tools/ci.sh            # full gate (tests + bench check)
+#         tools/ci.sh --no-bench # tests only (e.g. docs-only changes)
+#
+# The bench smoke runs tools/bench.py --quick --check, which fails when any
+# workload's events/sec drops more than 20% below the committed snapshot in
+# BENCH_engine.json.  On an intentional engine change, refresh the snapshot
+# with `python tools/bench.py --quick --update && python tools/bench.py
+# --update` and commit the result — the perf trajectory is part of the
+# repo's contract (see docs/performance.md).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== engine bench smoke (quick, 20% regression gate) =="
+    python tools/bench.py --quick --check --repeats 3
+fi
+
+echo "CI gate passed."

@@ -10,7 +10,6 @@ runtimes, overhead percentages, latency series — are attached to
 
 from __future__ import annotations
 
-import pytest
 
 
 def record(benchmark, **info) -> None:

@@ -12,7 +12,6 @@ compute-dominated apps where noise amplification dominates both equally).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig

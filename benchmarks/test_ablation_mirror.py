@@ -9,7 +9,6 @@ Claims measured:
   while the parallel protocol only adds tiny acks.
 """
 
-import pytest
 
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig

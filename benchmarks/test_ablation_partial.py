@@ -8,7 +8,6 @@ checkpointing; here we show the replication-side curve.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig

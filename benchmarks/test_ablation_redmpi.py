@@ -8,7 +8,6 @@ same fan-in loop under both protocols.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig

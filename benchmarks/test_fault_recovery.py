@@ -8,7 +8,6 @@ respawn (recovery), on a replicated stencil application.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig

@@ -34,7 +34,7 @@ def _committed(mode: str, name: str):
 
 @pytest.mark.parametrize("name", ["leader-anysource", "sdr-anysource"])
 def test_engine_throughput(benchmark, name):
-    fn = _workloads(quick=True)[name]
+    fn = _workloads("quick")[name]
     res1 = fn()
 
     res2 = run_once(benchmark, fn)

@@ -60,7 +60,7 @@ def mg_rank(
     lx, ly, lz = nx // grid[0], ny // grid[1], nz // grid[2]
     levels = max(2, min(int(np.log2(max(2, min(lx, ly, lz)))), 8))
     # distribute per-iteration compute across levels, 8x less per level down
-    weights = [8.0 ** (-l) for l in range(levels)]
+    weights = [8.0 ** (-lvl) for lvl in range(levels)]
     wsum = sum(weights) * 2  # down + up
     norm = 0.0
     for it in range(niter):

@@ -7,7 +7,7 @@ second of half-round-trip — NetPipe's convention.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, Sequence
 
 import numpy as np
 

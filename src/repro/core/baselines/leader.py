@@ -24,7 +24,7 @@ from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.core.interpose import RecvHandle
 from repro.core.sdr import SdrProtocol
-from repro.mpi.pml import Envelope, Pml, PmlRecvRequest
+from repro.mpi.pml import Envelope, PmlRecvRequest
 from repro.mpi.status import ANY_SOURCE
 
 __all__ = ["LeaderProtocol", "LeaderDecideMixin", "DeferredRecvHandle"]

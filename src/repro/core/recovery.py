@@ -29,7 +29,7 @@ happen within one uninterrupted recovery-point call).
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Generator, List, TYPE_CHECKING
 
 from repro.core.membership import MembershipService
 from repro.core.sdr import SdrProtocol

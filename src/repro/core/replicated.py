@@ -21,7 +21,7 @@ single FIFO channel, so the filter is pure bookkeeping.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List
 
 from repro.core.config import ReplicationConfig
 from repro.core.interpose import BaseProtocol

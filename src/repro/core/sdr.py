@@ -251,20 +251,20 @@ class SdrProtocol(ReplicatedBase):
             # this is when you fall back to checkpoint restart).
             return
         if self.rank == rank_f:
-            covered = [l for l, s in self.substitute.items() if s == rep_f]
+            covered = [rep_l for rep_l, s in self.substitute.items() if s == rep_f]
             if sub == self.rep:
                 # Lines 21-25: I am the substitute — adopt the bereaved
                 # receivers and resend whatever they are missing.
-                for l in covered:
+                for rep_l in covered:
                     for j in range(self.rmap.n_ranks):
-                        ph = self.rmap.phys(j, l)
+                        ph = self.rmap.phys(j, rep_l)
                         if ph == self.pml.proc or not self.membership.is_alive(ph):
                             continue
                         dests = self.dests_for(j)
                         if ph not in dests:
                             dests.append(ph)
                     for (j, seq), handle in list(self.retention.items()):
-                        ph = self.rmap.phys(j, l)
+                        ph = self.rmap.phys(j, rep_l)
                         if ph in handle.needs_ack and self.membership.is_alive(ph):
                             handle.needs_ack.discard(ph)
                             self.resends += 1
@@ -284,8 +284,8 @@ class SdrProtocol(ReplicatedBase):
                                 del self.retention[(j, seq)]
             # Lines 26-27: whoever was covered by the failed replica is now
             # covered by the substitute (every replica of rank_f tracks this).
-            for l in covered:
-                self.substitute[l] = sub
+            for rep_l in covered:
+                self.substitute[rep_l] = sub
         else:
             # Lines 28-35: a replica of another rank.
             if self.physical_src.get(rank_f, self.rmap.phys(rank_f, self.rep)) == failed:

@@ -9,7 +9,7 @@ an estimated run length when absolute times are awkward.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.runner import Job

@@ -20,13 +20,33 @@ number folded in, so concurrent rounds never cross-match.
 Determinism note: combine order is fixed by the tree/ring structure, never
 by arrival order — reductions are bitwise reproducible, a precondition for
 using these inside send-deterministic applications.
+
+Two implementations per collective
+----------------------------------
+The public names (``bcast``, ``reduce``, ...) are *flattened* fast paths:
+the posting preamble (recorder + ``protocol.app_isend``/``app_irecv``) and
+the blocking wait loops are inlined into the collective body, exactly the
+way :meth:`repro.mpi.api.MpiProcess.send`/``recv`` inline them for blocking
+point-to-point.  The seed shape — each tree step delegating through
+``_send``/``_recv`` → ``isend_on``/``irecv_on`` → ``wait_handles`` — costs
+3–4 generator frames per resumed event, and a collective at rank count *n*
+resumes O(n log n) times; the flat versions cut that to 1–2 frames.
+
+The original generator towers survive as the ``*_spec`` functions: the
+executable specification.  ``tests/test_collectives_equivalence.py`` proves
+— per collective, across ranks, roots, ops and protocols — that both
+implementations produce identical results *and* identical engine behaviour
+(virtual times, event counts, frame counts).  Modify a schedule in one and
+the equivalence suite (plus the golden fingerprints in
+``tests/test_determinism_regression.py``) will catch the other.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, List, Optional, TYPE_CHECKING
 
-from repro.mpi.datatypes import Phantom, combine, nbytes_of
+from repro.mpi.datatypes import combine, nbytes_of
+from repro.mpi.handles import RecvHandle, SendHandle
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.api import MpiProcess
@@ -43,6 +63,16 @@ __all__ = [
     "alltoall",
     "reduce_scatter_block",
     "scan",
+    "barrier_spec",
+    "bcast_spec",
+    "reduce_spec",
+    "allreduce_spec",
+    "gather_spec",
+    "scatter_spec",
+    "allgather_spec",
+    "alltoall_spec",
+    "reduce_scatter_block_spec",
+    "scan_spec",
 ]
 
 #: rounds per collective are encoded into the tag; 4096 rounds is plenty
@@ -55,22 +85,146 @@ def _base_tag(comm: "Communicator") -> int:
     return comm.next_coll_tag() * _ROUND_SPAN
 
 
-def _send(api: "MpiProcess", comm: "Communicator", peer: int, tag: int, data: Any) -> Generator:
-    req = yield from api.isend_on(comm, comm.ctx_coll, peer, tag, data)
-    return req
+# ---------------------------------------------------------------------------
+# Flat plumbing: fused post + wait primitives.
+#
+# Each helper is ONE generator frame wrapping the protocol entry points
+# directly; the wait loops replicate the blocking fast paths of
+# repro.mpi.api (same completion predicates, same pop-one-frame-or-block
+# progress step), so the dispatched event stream is identical to the spec
+# path's ``wait_handles`` — only host-side frame traversals are saved.
+# ---------------------------------------------------------------------------
+def _send_done(shandle) -> bool:
+    """Stock SendHandle completion predicate, inlined (see api.send)."""
+    if shandle.needs_ack:
+        return False
+    reqs = shandle.pml_reqs
+    if len(reqs) == 1:
+        return reqs[0].done
+    return all(r.done for r in reqs)
 
 
-def _recv(api: "MpiProcess", comm: "Communicator", peer: int, tag: int) -> Generator:
-    req = yield from api.irecv_on(comm, comm.ctx_coll, peer, tag)
-    return req
+def _sendrecv(api: "MpiProcess", comm: "Communicator", send_peer: int,
+              recv_peer: int, tag: int, data: Any) -> Generator:
+    """Flat sendrecv: post both sides, drive both to completion inline.
+
+    Observationally identical to ``_sendrecv_spec`` (post recv, post send,
+    ``wait_handles([sreq, rreq])``) — posting order, recorder calls and the
+    progress step are the same; only the delegation tower is gone.
+    """
+    ctx = comm.ctx_coll
+    protocol = api.protocol
+    rhandle = yield from protocol.app_irecv(ctx=ctx, source=recv_peer, tag=tag, buf=None)
+    world_dst = comm.world_of(send_peer)
+    if api.recorder is not None:
+        api.recorder.record_send(ctx, comm.rank, send_peer, world_dst, tag, nbytes_of(data))
+    shandle = yield from protocol.app_isend(
+        ctx=ctx, src_rank=comm.rank, tag=tag, data=data,
+        world_dst=world_dst, synchronous=False,
+    )
+    pml = api.pml
+    ep = pml.endpoint
+    s_fast = type(shandle).done is SendHandle.done
+    s_adv = getattr(shandle, "needs_advance", True)
+    r_stock = type(rhandle) is RecvHandle
+    r_req = rhandle.pml_req if r_stock else None
+    while True:
+        if s_adv:
+            gen = shandle.advance()
+            if gen is not None:
+                yield from gen
+        if not r_stock:
+            gen = rhandle.advance()
+            if gen is not None:
+                yield from gen
+        if (_send_done(shandle) if s_fast else shandle.done) and (
+            r_req.done if r_stock else rhandle.done
+        ):
+            return r_req.data if r_stock else rhandle.data
+        if ep.inbox:
+            yield from pml.handle_frame(ep.inbox.popleft())
+        else:
+            yield ep  # block on the endpoint (allocation-free waiter)
 
 
-def _sendrecv(api, comm, send_peer, recv_peer, tag, data) -> Generator:
-    """Post both sides, then progress both to completion (deadlock-free)."""
-    rreq = yield from _recv(api, comm, recv_peer, tag)
-    sreq = yield from _send(api, comm, send_peer, tag, data)
-    yield from api.wait_handles([sreq, rreq])
-    return rreq.data
+def _post_send(api: "MpiProcess", comm: "Communicator", peer: int, tag: int, data: Any) -> Generator:
+    """Flat posting preamble of ``isend_on`` on the collective context."""
+    world_dst = comm.world_of(peer)
+    if api.recorder is not None:
+        api.recorder.record_send(comm.ctx_coll, comm.rank, peer, world_dst, tag, nbytes_of(data))
+    handle = yield from api.protocol.app_isend(
+        ctx=comm.ctx_coll, src_rank=comm.rank, tag=tag, data=data,
+        world_dst=world_dst, synchronous=False,
+    )
+    return handle
+
+
+def _send_wait(api: "MpiProcess", comm: "Communicator", peer: int, tag: int, data: Any) -> Generator:
+    """Fused blocking send on the collective context (one frame)."""
+    handle = yield from _post_send(api, comm, peer, tag, data)
+    pml = api.pml
+    ep = pml.endpoint
+    fast = type(handle).done is SendHandle.done
+    adv = getattr(handle, "needs_advance", True)
+    while True:
+        if adv:
+            gen = handle.advance()
+            if gen is not None:
+                yield from gen
+        if _send_done(handle) if fast else handle.done:
+            return
+        if ep.inbox:
+            yield from pml.handle_frame(ep.inbox.popleft())
+        else:
+            yield ep  # block on the endpoint (allocation-free waiter)
+
+
+def _recv_wait(api: "MpiProcess", comm: "Communicator", peer: int, tag: int) -> Generator:
+    """Fused blocking receive on the collective context (one frame)."""
+    handle = yield from api.protocol.app_irecv(
+        ctx=comm.ctx_coll, source=peer, tag=tag, buf=None
+    )
+    pml = api.pml
+    ep = pml.endpoint
+    if type(handle) is RecvHandle:
+        req = handle.pml_req
+        while True:
+            if req.done:
+                return req.data
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
+    while True:
+        gen = handle.advance()
+        if gen is not None:
+            yield from gen
+        if handle.done:
+            return handle.data
+        if ep.inbox:
+            yield from pml.handle_frame(ep.inbox.popleft())
+        else:
+            yield ep
+
+
+def _wait_all(api: "MpiProcess", handles: List[Any]) -> Generator:
+    """Flat MPI_Waitall core (mirrors api.wait_handles, sans status list)."""
+    pml = api.pml
+    ep = pml.endpoint
+    while True:
+        for h in handles:
+            gen = h.advance()
+            if gen is not None:
+                yield from gen
+        for h in handles:
+            if not h.done:
+                break
+        else:
+            return
+        if ep.inbox:
+            yield from pml.handle_frame(ep.inbox.popleft())
+        else:
+            yield ep  # block on the endpoint (allocation-free waiter)
 
 
 # --------------------------------------------------------------------- sync
@@ -103,9 +257,7 @@ def bcast(api: "MpiProcess", comm: "Communicator", data: Any, root: int) -> Gene
     if me != 0:
         mask = me & (-me)
         parent = (me - mask + root) % n
-        req = yield from _recv(api, comm, parent, tag0)
-        yield from api.wait_handles([req])
-        data = req.data
+        data = yield from _recv_wait(api, comm, parent, tag0)
         mask >>= 1
     else:
         mask = 1 << ((n - 1).bit_length() - 1)
@@ -113,9 +265,7 @@ def bcast(api: "MpiProcess", comm: "Communicator", data: Any, root: int) -> Gene
     while mask >= 1:
         child = me + mask
         if child < n:
-            peer = (child + root) % n
-            req = yield from _send(api, comm, peer, tag0, data)
-            yield from api.wait_handles([req])
+            yield from _send_wait(api, comm, (child + root) % n, tag0, data)
         mask >>= 1
     return data
 
@@ -132,15 +282,12 @@ def reduce(api: "MpiProcess", comm: "Communicator", data: Any, op: str, root: in
     while mask < n:
         if me & mask:
             parent = ((me & ~mask) + root) % n
-            req = yield from _send(api, comm, parent, tag0, acc)
-            yield from api.wait_handles([req])
+            yield from _send_wait(api, comm, parent, tag0, acc)
             break
         child = me | mask
         if child < n:
-            peer = (child + root) % n
-            req = yield from _recv(api, comm, peer, tag0)
-            yield from api.wait_handles([req])
-            acc = combine(op, acc, req.data)
+            got = yield from _recv_wait(api, comm, (child + root) % n, tag0)
+            acc = combine(op, acc, got)
         mask <<= 1
     return acc if comm.rank == root else None
 
@@ -178,18 +325,19 @@ def gather(api: "MpiProcess", comm: "Communicator", data: Any, root: int) -> Gen
     if comm.rank == root:
         out: List[Any] = [None] * n
         out[root] = data
-        reqs = []
+        protocol = api.protocol
+        ctx = comm.ctx_coll
+        handles = []
         for r in range(n):
             if r == root:
                 continue
-            req = yield from _recv(api, comm, r, tag0)
-            reqs.append((r, req))
-        yield from api.wait_handles([req for _r, req in reqs])
-        for r, req in reqs:
-            out[r] = req.data
+            handle = yield from protocol.app_irecv(ctx=ctx, source=r, tag=tag0, buf=None)
+            handles.append((r, handle))
+        yield from _wait_all(api, [h for _r, h in handles])
+        for r, handle in handles:
+            out[r] = handle.data
         return out
-    req = yield from _send(api, comm, root, tag0, data)
-    yield from api.wait_handles([req])
+    yield from _send_wait(api, comm, root, tag0, data)
     return None
 
 
@@ -200,17 +348,15 @@ def scatter(api: "MpiProcess", comm: "Communicator", chunks: Optional[List[Any]]
     if comm.rank == root:
         if chunks is None or len(chunks) != n:
             raise ValueError(f"scatter at root requires a list of {n} chunks")
-        reqs = []
+        handles = []
         for r in range(n):
             if r == root:
                 continue
-            req = yield from _send(api, comm, r, tag0, chunks[r])
-            reqs.append(req)
-        yield from api.wait_handles(reqs)
+            handle = yield from _post_send(api, comm, r, tag0, chunks[r])
+            handles.append(handle)
+        yield from _wait_all(api, handles)
         return chunks[root]
-    req = yield from _recv(api, comm, root, tag0)
-    yield from api.wait_handles([req])
-    return req.data
+    return (yield from _recv_wait(api, comm, root, tag0))
 
 
 def allgather(api: "MpiProcess", comm: "Communicator", data: Any) -> Generator:
@@ -266,6 +412,235 @@ def reduce_scatter_block(api: "MpiProcess", comm: "Communicator", chunks: List[A
 
 
 def scan(api: "MpiProcess", comm: "Communicator", data: Any, op: str) -> Generator:
+    """Inclusive prefix scan along the rank order (linear chain)."""
+    me = comm.rank
+    n = comm.size
+    tag0 = _base_tag(comm)
+    acc = data
+    if me > 0:
+        got = yield from _recv_wait(api, comm, me - 1, tag0)
+        acc = combine(op, got, acc)
+    if me < n - 1:
+        yield from _send_wait(api, comm, me + 1, tag0, acc)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Executable specification: the seed-shaped generator towers.
+#
+# Each *_spec function delegates through the nonblocking API exactly the
+# way the seed engine's collectives did.  They are kept runnable — the
+# equivalence suite executes them in real jobs — and are the reference any
+# schedule change must be made against first.
+# ---------------------------------------------------------------------------
+def _send(api: "MpiProcess", comm: "Communicator", peer: int, tag: int, data: Any) -> Generator:
+    req = yield from api.isend_on(comm, comm.ctx_coll, peer, tag, data)
+    return req
+
+
+def _recv(api: "MpiProcess", comm: "Communicator", peer: int, tag: int) -> Generator:
+    req = yield from api.irecv_on(comm, comm.ctx_coll, peer, tag)
+    return req
+
+
+def _sendrecv_spec(api, comm, send_peer, recv_peer, tag, data) -> Generator:
+    """Post both sides, then progress both to completion (deadlock-free)."""
+    rreq = yield from _recv(api, comm, recv_peer, tag)
+    sreq = yield from _send(api, comm, send_peer, tag, data)
+    yield from api.wait_handles([sreq, rreq])
+    return rreq.data
+
+
+def barrier_spec(api: "MpiProcess", comm: "Communicator") -> Generator:
+    """Dissemination barrier: round k talks to rank ± 2^k."""
+    n = comm.size
+    if n == 1:
+        return
+    me = comm.rank
+    tag0 = _base_tag(comm)
+    k = 0
+    dist = 1
+    while dist < n:
+        to = (me + dist) % n
+        frm = (me - dist) % n
+        yield from _sendrecv_spec(api, comm, to, frm, tag0 + k, _TOKEN)
+        dist <<= 1
+        k += 1
+
+
+def bcast_spec(api: "MpiProcess", comm: "Communicator", data: Any, root: int) -> Generator:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    n = comm.size
+    if n == 1:
+        return data
+    me = (comm.rank - root) % n  # virtual rank: root becomes 0
+    tag0 = _base_tag(comm)
+    # Receive phase: my parent clears my lowest set bit.
+    if me != 0:
+        mask = me & (-me)
+        parent = (me - mask + root) % n
+        req = yield from _recv(api, comm, parent, tag0)
+        yield from api.wait_handles([req])
+        data = req.data
+        mask >>= 1
+    else:
+        mask = 1 << ((n - 1).bit_length() - 1)
+    # Send phase: forward to children below my lowest set bit.
+    while mask >= 1:
+        child = me + mask
+        if child < n:
+            peer = (child + root) % n
+            req = yield from _send(api, comm, peer, tag0, data)
+            yield from api.wait_handles([req])
+        mask >>= 1
+    return data
+
+
+def reduce_spec(api: "MpiProcess", comm: "Communicator", data: Any, op: str, root: int) -> Generator:
+    """Binomial-tree reduction; result only meaningful at *root*."""
+    n = comm.size
+    if n == 1:
+        return data
+    me = (comm.rank - root) % n
+    tag0 = _base_tag(comm)
+    acc = data
+    mask = 1
+    while mask < n:
+        if me & mask:
+            parent = ((me & ~mask) + root) % n
+            req = yield from _send(api, comm, parent, tag0, acc)
+            yield from api.wait_handles([req])
+            break
+        child = me | mask
+        if child < n:
+            peer = (child + root) % n
+            req = yield from _recv(api, comm, peer, tag0)
+            yield from api.wait_handles([req])
+            acc = combine(op, acc, req.data)
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def allreduce_spec(api: "MpiProcess", comm: "Communicator", data: Any, op: str) -> Generator:
+    """Recursive doubling for power-of-two sizes, reduce+bcast otherwise."""
+    n = comm.size
+    if n == 1:
+        return data
+    if n & (n - 1):  # not a power of two
+        acc = yield from reduce_spec(api, comm, data, op, root=0)
+        acc = yield from bcast_spec(api, comm, acc, root=0)
+        return acc
+    me = comm.rank
+    tag0 = _base_tag(comm)
+    acc = data
+    mask = 1
+    k = 0
+    while mask < n:
+        peer = me ^ mask
+        other = yield from _sendrecv_spec(api, comm, peer, peer, tag0 + k, acc)
+        # Fixed combine order (lower rank's contribution first) so every
+        # rank computes bitwise-identical results.
+        acc = combine(op, acc, other) if peer > me else combine(op, other, acc)
+        mask <<= 1
+        k += 1
+    return acc
+
+
+def gather_spec(api: "MpiProcess", comm: "Communicator", data: Any, root: int) -> Generator:
+    """Linear gather; returns the rank-ordered list at root, None elsewhere."""
+    n = comm.size
+    tag0 = _base_tag(comm)
+    if comm.rank == root:
+        out: List[Any] = [None] * n
+        out[root] = data
+        reqs = []
+        for r in range(n):
+            if r == root:
+                continue
+            req = yield from _recv(api, comm, r, tag0)
+            reqs.append((r, req))
+        yield from api.wait_handles([req for _r, req in reqs])
+        for r, req in reqs:
+            out[r] = req.data
+        return out
+    req = yield from _send(api, comm, root, tag0, data)
+    yield from api.wait_handles([req])
+    return None
+
+
+def scatter_spec(api: "MpiProcess", comm: "Communicator", chunks: Optional[List[Any]], root: int) -> Generator:
+    """Linear scatter of a rank-indexed list from root."""
+    n = comm.size
+    tag0 = _base_tag(comm)
+    if comm.rank == root:
+        if chunks is None or len(chunks) != n:
+            raise ValueError(f"scatter at root requires a list of {n} chunks")
+        reqs = []
+        for r in range(n):
+            if r == root:
+                continue
+            req = yield from _send(api, comm, r, tag0, chunks[r])
+            reqs.append(req)
+        yield from api.wait_handles(reqs)
+        return chunks[root]
+    req = yield from _recv(api, comm, root, tag0)
+    yield from api.wait_handles([req])
+    return req.data
+
+
+def allgather_spec(api: "MpiProcess", comm: "Communicator", data: Any) -> Generator:
+    """Ring allgather: n-1 rounds, each forwarding the next slice."""
+    n = comm.size
+    me = comm.rank
+    out: List[Any] = [None] * n
+    out[me] = data
+    if n == 1:
+        return out
+    tag0 = _base_tag(comm)
+    right = (me + 1) % n
+    left = (me - 1) % n
+    carry = data
+    for k in range(n - 1):
+        carry = yield from _sendrecv_spec(api, comm, right, left, tag0 + k, carry)
+        out[(me - 1 - k) % n] = carry
+    return out
+
+
+def alltoall_spec(api: "MpiProcess", comm: "Communicator", chunks: List[Any]) -> Generator:
+    """Pairwise-exchange alltoall (XOR schedule for power-of-two sizes)."""
+    n = comm.size
+    me = comm.rank
+    if chunks is None or len(chunks) != n:
+        raise ValueError(f"alltoall requires a list of {n} chunks")
+    out: List[Any] = [None] * n
+    out[me] = chunks[me]
+    tag0 = _base_tag(comm)
+    pow2 = n & (n - 1) == 0
+    for k in range(1, n):
+        if pow2:
+            peer = me ^ k
+            send_peer = recv_peer = peer
+        else:
+            send_peer = (me + k) % n
+            recv_peer = (me - k) % n
+        got = yield from _sendrecv_spec(api, comm, send_peer, recv_peer, tag0 + k, chunks[send_peer])
+        out[recv_peer] = got
+    return out
+
+
+def reduce_scatter_block_spec(api: "MpiProcess", comm: "Communicator", chunks: List[Any], op: str) -> Generator:
+    """Block reduce-scatter: elementwise reduce of rank-indexed chunk lists,
+    each rank keeping its own chunk.  Implemented as reduce + scatter."""
+    n = comm.size
+    if chunks is None or len(chunks) != n:
+        raise ValueError(f"reduce_scatter requires a list of {n} chunks")
+    # combine() is elementwise over lists, so a plain tree reduce of the
+    # chunk lists followed by a scatter implements the block variant.
+    reduced = yield from reduce_spec(api, comm, list(chunks), op=op, root=0)
+    return (yield from scatter_spec(api, comm, reduced, root=0))
+
+
+def scan_spec(api: "MpiProcess", comm: "Communicator", data: Any, op: str) -> Generator:
     """Inclusive prefix scan along the rank order (linear chain)."""
     me = comm.rank
     n = comm.size

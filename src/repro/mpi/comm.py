@@ -18,7 +18,7 @@ tags (Open MPI does the same with separate context id halves).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.mpi.errors import RankError
 from repro.mpi.group import Group, UNDEFINED

@@ -12,7 +12,7 @@ Workloads run in one of two modes:
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 

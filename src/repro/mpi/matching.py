@@ -39,7 +39,7 @@ identical pairing decisions.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.mpi.status import ANY_SOURCE, ANY_TAG
 

@@ -210,8 +210,14 @@ class Pml:
         self.on_match: List[HookFn] = []
         self.on_recv_complete: List[HookFn] = []
         self.incoming_filter: Optional[Callable[[Envelope], Generator]] = None
+        #: ctrl envelopes are pool-recycled the moment a handler returns —
+        #: handlers must copy out whatever they need and never retain the
+        #: envelope object itself (every in-tree handler complies)
         self.ctrl_handlers: Dict[str, Callable[[Envelope], Generator]] = {}
         self.svc_handlers: Dict[str, Callable[[Any], Generator]] = {}
+        #: free list for the protocol-private envelope kinds (see
+        #: :meth:`_acquire_env`)
+        self._env_pool: List[Envelope] = []
         # Per-peer cost caches (models are immutable for a job's lifetime):
         # dst -> (send_overhead, eager_limit), src -> recv_overhead.  One
         # dict probe per frame instead of fabric/placement lookups.
@@ -241,6 +247,75 @@ class Pml:
             self._send_cost[dst] = cost
         return cost
 
+    # ------------------------------------------------------- envelope arena
+    def _acquire_env(
+        self,
+        kind: str,
+        ctx: Any,
+        src_rank: int,
+        tag: int,
+        world_src: int,
+        world_dst: int,
+        seq: int,
+        nbytes: int,
+        data: Any,
+        dst_phys: int,
+        msg_id: int = -1,
+        ctrl_key: str = "",
+    ) -> Envelope:
+        """Pool-backed Envelope for the *protocol-private* kinds.
+
+        Only ``ctrl`` and ``cts`` envelopes recycle through the arena: they
+        are born in the PML (or a protocol's charge-then-inject split),
+        consumed exactly once inside :meth:`_handle_frame`/:meth:`_handle_cts`
+        on the receiving side, and never touch the interposition surface.
+        Application envelopes (``eager``/``rts``/``data``) are **never**
+        pooled — matching queues, reorder buffers, ``on_match`` /
+        ``on_recv_complete`` hooks and request handles may all legitimately
+        retain them (and tests do).
+        """
+        pool = self._env_pool
+        if pool:
+            env = pool.pop()
+            env.kind = kind
+            env.ctx = ctx
+            env.src_rank = src_rank
+            env.tag = tag
+            env.world_src = world_src
+            env.world_dst = world_dst
+            env.seq = seq
+            env.nbytes = nbytes
+            env.data = data
+            env.src_phys = self.proc
+            env.dst_phys = dst_phys
+            env.msg_id = msg_id
+            env.ctrl_key = ctrl_key
+            return env
+        return Envelope(
+            kind=kind,
+            ctx=ctx,
+            src_rank=src_rank,
+            tag=tag,
+            world_src=world_src,
+            world_dst=world_dst,
+            seq=seq,
+            nbytes=nbytes,
+            data=data,
+            src_phys=self.proc,
+            dst_phys=dst_phys,
+            msg_id=msg_id,
+            ctrl_key=ctrl_key,
+        )
+
+    def _release_env(self, env: Envelope) -> None:
+        """Explicit reset + return to the arena: drop the payload and
+        context references so a parked envelope pins nothing."""
+        env.ctx = None
+        env.data = None
+        pool = self._env_pool
+        if len(pool) < 4096:
+            pool.append(env)
+
     def inject(self, env: Envelope, wire_bytes: int) -> Generator:
         """Charge sender overhead and put one frame on the wire.
 
@@ -256,7 +331,7 @@ class Pml:
             cost = self._send_cost_to(dst)
         if cost[0] > 0.0:
             yield cost[0]
-        self.fabric.inject(Frame(self.proc, dst, wire_bytes, env, env.kind))
+        self.fabric.send(self.proc, dst, wire_bytes, env, env.kind)
 
     # ----------------------------------------------------------------- send
     def isend(
@@ -312,7 +387,7 @@ class Pml:
         if kind == "eager":
             if overhead > 0.0:
                 yield overhead
-            self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "eager"))
+            self.fabric.send(self.proc, dst_phys, nbytes, env, "eager")
             req.done = True
         else:
             # Rendezvous: RTS now, DATA once the CTS comes back.
@@ -322,7 +397,7 @@ class Pml:
             self._rdv_sends[msg_id] = (req, env)
             if overhead > 0.0:
                 yield overhead
-            self.fabric.inject(Frame(self.proc, dst_phys, RTS_BYTES, rts, "rts"))
+            self.fabric.send(self.proc, dst_phys, RTS_BYTES, rts, "rts")
         return req
 
     def send_cost(self, dst_phys: int) -> float:
@@ -376,62 +451,44 @@ class Pml:
         req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
         self.sends_posted += 1
         if kind == "eager":
-            self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "eager"))
+            self.fabric.send(self.proc, dst_phys, nbytes, env, "eager")
             req.done = True
         else:
             rts = env.clone_for(dst_phys)
             rts.kind = "rts"
             rts.data = None
             self._rdv_sends[msg_id] = (req, env)
-            self.fabric.inject(Frame(self.proc, dst_phys, RTS_BYTES, rts, "rts"))
+            self.fabric.send(self.proc, dst_phys, RTS_BYTES, rts, "rts")
         return req
 
     def inject_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> None:
         """Put one control frame on the wire *without* charging CPU.
 
         The caller must charge :meth:`send_cost` first (yield the seconds)
-        — see :meth:`send_ctrl` for the composed generator form.
+        — see :meth:`send_ctrl` for the composed generator form.  The
+        envelope and frame both come from the recycling arenas: control
+        traffic (acks, decisions) outnumbers application frames under
+        replication, so this path is allocation-free at steady state.
         """
-        env = Envelope(
-            kind="ctrl",
-            ctx=None,
-            src_rank=-1,
-            tag=-1,
-            world_src=-1,
-            world_dst=-1,
-            seq=-1,
-            nbytes=nbytes,
-            data=data,
-            src_phys=self.proc,
-            dst_phys=dst_phys,
-            ctrl_key=ctrl_key,
+        env = self._acquire_env(
+            "ctrl", None, -1, -1, -1, -1, -1, nbytes, data, dst_phys, ctrl_key=ctrl_key
         )
-        self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "ctrl"))
+        self.fabric.send(self.proc, dst_phys, nbytes, env, "ctrl")
 
     def send_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> Generator:
         """Send a protocol-private control frame (never enters matching)."""
-        env = Envelope(
-            kind="ctrl",
-            ctx=None,
-            src_rank=-1,
-            tag=-1,
-            world_src=-1,
-            world_dst=-1,
-            seq=-1,
-            nbytes=nbytes,
-            data=data,
-            src_phys=self.proc,
-            dst_phys=dst_phys,
-            ctrl_key=ctrl_key,
-        )
         # inject() inlined: ctrl frames (acks, decisions) outnumber
-        # application frames under replication.
+        # application frames under replication.  The envelope is acquired
+        # *after* the charge so an abandoned generator leaks nothing.
         cost = self._send_cost.get(dst_phys)
         if cost is None:
             cost = self._send_cost_to(dst_phys)
         if cost[0] > 0.0:
             yield cost[0]
-        self.fabric.inject(Frame(self.proc, dst_phys, nbytes, env, "ctrl"))
+        env = self._acquire_env(
+            "ctrl", None, -1, -1, -1, -1, -1, nbytes, data, dst_phys, ctrl_key=ctrl_key
+        )
+        self.fabric.send(self.proc, dst_phys, nbytes, env, "ctrl")
 
     # ----------------------------------------------------------------- recv
     def irecv(self, ctx: Any, source: int, tag: int, buf: Any = None) -> Generator[Any, Any, PmlRecvRequest]:
@@ -474,14 +531,20 @@ class Pml:
             yield from self._handle_frame(frame)
 
     def _handle_frame(self, frame: Frame) -> Generator:
-        if frame.kind == "svc":
-            key, payload = frame.payload
+        # The frame is fully consumed by the field reads below; recycle it
+        # immediately (before any yield) so an abandoned generator — a
+        # process crashing mid-charge — cannot strand it outside the pool.
+        kind = frame.kind
+        payload = frame.payload
+        src = frame.src
+        self.fabric.release_frame(frame)
+        if kind == "svc":
+            key, svc_payload = payload
             handler = self.svc_handlers.get(key)
             if handler is not None:
-                yield from handler(payload)
+                yield from handler(svc_payload)
             return
-        env: Envelope = frame.payload
-        src = frame.src
+        env: Envelope = payload
         if src >= 0:
             overhead = self._recv_cost.get(src)
             if overhead is None:
@@ -495,10 +558,13 @@ class Pml:
                 raise MpiError(f"proc {self.proc}: no handler for ctrl {env.ctrl_key!r}")
             # A handler may be a generator function (driven here) or a
             # plain function returning None — the latter avoids a
-            # generator allocation for bookkeeping-only handlers.
+            # generator allocation for bookkeeping-only handlers.  Once it
+            # returns, the envelope is recycled (handlers never retain it —
+            # see the ctrl_handlers contract).
             gen = handler(env)
             if gen is not None:
                 yield from gen
+            self._release_env(env)
         elif env.kind == "cts":
             yield from self._handle_cts(env)
         elif env.kind == "data":
@@ -570,19 +636,9 @@ class Pml:
         elif env.kind == "rts":
             # Clear the sender to transfer the payload.
             self._rdv_recvs[(env.src_phys, env.msg_id)] = recv
-            cts = Envelope(
-                kind="cts",
-                ctx=env.ctx,
-                src_rank=-1,
-                tag=-1,
-                world_src=-1,
-                world_dst=-1,
-                seq=env.seq,
-                nbytes=CTS_BYTES,
-                data=None,
-                src_phys=self.proc,
-                dst_phys=env.src_phys,
-                msg_id=env.msg_id,
+            cts = self._acquire_env(
+                "cts", env.ctx, -1, -1, -1, -1, env.seq, CTS_BYTES, None,
+                env.src_phys, msg_id=env.msg_id,
             )
             yield from self.inject(cts, CTS_BYTES)
         else:  # pragma: no cover - defensive
@@ -590,6 +646,9 @@ class Pml:
 
     def _handle_cts(self, cts: Envelope) -> Generator:
         entry = self._rdv_sends.pop(cts.msg_id, None)
+        # The CTS is consumed by that single lookup: recycle it before the
+        # DATA injection below can yield.
+        self._release_env(cts)
         if entry is None:
             return  # send was cancelled (destination died)
         req, env = entry

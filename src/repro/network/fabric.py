@@ -50,6 +50,14 @@ class Frame:
     heap; :meth:`fire` lands it in the destination inbox.  The seed engine
     allocated a ``_deliver`` closure plus a ``_Callback`` wrapper per frame
     — this is zero extra allocations on the same event count.
+
+    Frames are *pooled*: the PML releases a frame back to the owning
+    fabric's free list (:meth:`Fabric.release_frame`) the moment it has
+    extracted the payload during frame handling, and :meth:`Fabric.send`
+    recycles released instances instead of allocating.  Nothing outside
+    the fabric/PML pair may retain a frame past ``Pml.handle_frame`` —
+    inbox inspection (tests, diagnostics) is fine because release happens
+    strictly after the frame leaves the inbox.
     """
 
     __slots__ = ("src", "dst", "size", "payload", "kind", "sent_at", "arrived_at", "fabric")
@@ -239,6 +247,9 @@ class Fabric:
         self._node_of: List[int] = [placement.node_of(p) for p in range(n_procs)]
         self._model_cache: Dict[Tuple[int, int], Any] = {}
         self.on_crash: List[Callable[[int], None]] = []
+        #: free list of recycled Frame instances (see Frame docstring);
+        #: bounded so pathological bursts cannot pin memory forever
+        self._frame_pool: List[Frame] = []
         #: totals for message-complexity ablations (mirror vs parallel)
         self.total_frames = 0
         self.total_bytes = 0
@@ -282,6 +293,36 @@ class Fabric:
         return state
 
     # ------------------------------------------------------------ transfers
+    def send(self, src: int, dst: int, size: int, payload: Any, kind: str = "data") -> float:
+        """Acquire a (possibly recycled) frame and put it on the wire.
+
+        The hot-path entry every PML send site uses: one pool pop replaces
+        the per-message Frame allocation once the pool has warmed up.
+        Returns the arrival time (see :meth:`inject`).
+        """
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.src = src
+            frame.dst = dst
+            frame.size = size
+            frame.payload = payload
+            frame.kind = kind
+            frame.arrived_at = -1.0
+        else:
+            frame = Frame(src, dst, size, payload, kind)
+        return self.inject(frame)
+
+    def release_frame(self, frame: Frame) -> None:
+        """Return a fully-consumed frame to the free list (explicit reset:
+        drop the payload and fabric references so recycled frames never
+        keep envelopes or simulators alive)."""
+        frame.payload = None
+        frame.fabric = None
+        pool = self._frame_pool
+        if len(pool) < 4096:
+            pool.append(frame)
+
     def inject(self, frame: Frame) -> float:
         """Put *frame* on the wire now.  Returns the arrival time.
 

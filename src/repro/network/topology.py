@@ -10,7 +10,7 @@ that policy; :func:`round_robin_placement` is the unreplicated default.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.network.model import NetworkCostModel, InfiniBand20G, SharedMemoryModel
 

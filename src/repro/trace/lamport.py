@@ -7,7 +7,7 @@ by trace analyses and their tests.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 import networkx as nx
 

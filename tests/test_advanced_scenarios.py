@@ -7,7 +7,6 @@ to act as substitute when the original survivor later dies.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import ReplicationConfig
 from repro.core.recovery import RecoveryManager

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import ReplicationConfig
 from repro.harness.runner import Job, cluster_for
-from tests.conftest import run_app
 
 
 def _job(protocol, n_ranks=2, degree=2, **kwargs):

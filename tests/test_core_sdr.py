@@ -241,7 +241,7 @@ class TestOrdering:
 
 class TestAckCosts:
     def test_ping_pong_latency_matches_paper_anchor(self):
-        from repro.apps.netpipe import netpipe_rank, netpipe_sweep
+        from repro.apps.netpipe import netpipe_sweep
 
         sweep = netpipe_sweep("sdr", sizes=(1,), iters=10)
         lat_us = sweep[1]["latency_s"] * 1e6

@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.config import ReplicationConfig
 from repro.harness.runner import Job, cluster_for
+from repro.mpi.datatypes import Phantom
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
 
@@ -32,6 +33,40 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
 # measures — imported, not copied, so the goldens always pin the workload
 # shape that BENCH_engine.json's trajectory is measured on.
 from bench import anysource_fanin, ring_collectives  # noqa: E402
+
+
+def collective_suite(mpi, iters=4, nbytes=65536):
+    """Every collective the engine ships, exercised per iteration.
+
+    Pins the tree/ring/recursive-doubling schedules (peer choices, tag
+    assignment, combine order) of the collective algorithms: the flattened
+    fast paths must produce the identical frame/event stream the generator
+    spec produced when this golden was recorded.
+    """
+    n = mpi.size
+    acc = 0.0
+    for it in range(iters):
+        yield from mpi.barrier()
+        root = it % n
+        data = yield from mpi.bcast(np.arange(8, dtype=np.float64) + it, root=root)
+        acc += float(data[0])
+        r = yield from mpi.reduce(float(mpi.rank + it), op="sum", root=root)
+        if r is not None:
+            acc += float(r)
+        acc += float((yield from mpi.allreduce(float(mpi.rank), op="max")))
+        gathered = yield from mpi.gather(mpi.rank * 2 + it, root=root)
+        chunks = gathered if mpi.rank == root else None
+        acc += float((yield from mpi.scatter(chunks, root=root)))
+        acc += float((yield from mpi.allgather(mpi.rank + it))[-1])
+        swapped = yield from mpi.alltoall([mpi.rank * n + j for j in range(n)])
+        acc += float(swapped[0])
+        acc += float((yield from mpi.scan(float(mpi.rank), op="sum")))
+        rs = yield from mpi.reduce_scatter([float(j + it) for j in range(n)], op="sum")
+        acc += float(rs)
+        yield from mpi.sendrecv(
+            Phantom(nbytes), dest=(mpi.rank + 1) % n, source=(mpi.rank - 1) % n, sendtag=9
+        )
+    return acc
 
 
 def pingpong(mpi, rounds=30):
@@ -73,6 +108,14 @@ def run_native_collectives():
     return _job("native", 8).launch(ring_collectives, iters=12).run(), None
 
 
+def run_native_collective_suite():
+    return _job("native", 8).launch(collective_suite, iters=4).run(), None
+
+
+def run_sdr_collective_suite():
+    return _job("sdr", 6).launch(collective_suite, iters=3).run(), None
+
+
 def run_sdr_crash_failover():
     job = _job("sdr", 4).launch(anysource_fanin, rounds=40)
     job.crash(rank=1, rep=1, at=2e-4)
@@ -84,6 +127,8 @@ SCENARIOS = {
     "leader-anysource": run_leader_anysource,
     "mirror-pingpong": run_mirror_pingpong,
     "native-collectives": run_native_collectives,
+    "native-collective-suite": run_native_collective_suite,
+    "sdr-collective-suite": run_sdr_collective_suite,
     "sdr-crash-failover": run_sdr_crash_failover,
 }
 
@@ -121,6 +166,28 @@ GOLDEN = {
         "by_kind": {"eager": 480},
         "unexpected": 0,
         "acks": 0,
+    },
+    # The two collective-suite goldens were recorded from the PR 1 engine
+    # (commit 0d20d60, generator-tower collectives) just before the
+    # flattened collective fast paths landed — they pin the full schedule
+    # of every collective algorithm, including the rendezvous handshake.
+    "native-collective-suite": {
+        "runtime": "0.00014387140000000087",
+        "events": 3593,
+        "frames": 932,
+        "bytes": 2109376,
+        "by_kind": {"cts": 32, "data": 32, "eager": 836, "rts": 32},
+        "unexpected": 42,
+        "acks": 0,
+    },
+    "sdr-collective-suite": {
+        "runtime": "0.00028292180000000076",
+        "events": 7626,
+        "frames": 1620,
+        "bytes": 2395548,
+        "by_kind": {"ctrl": 774, "cts": 36, "data": 36, "eager": 738, "rts": 36},
+        "unexpected": 163,
+        "acks": 774,
     },
     "native-collectives": {
         "runtime": "0.00020557440000000058",

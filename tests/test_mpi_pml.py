@@ -5,7 +5,6 @@ import pytest
 
 from repro.harness.runner import Job, cluster_for
 from repro.mpi.errors import MpiError
-from tests.conftest import run_app
 
 
 def _job(n=2):
@@ -158,8 +157,6 @@ class TestCancellation:
         assert res.app_results[1] == 5.0
 
     def test_cancel_sends_to_dead_destination(self):
-        from repro.mpi.pml import Pml
-
         job = _job()
         pml = job.pmls[0]
 

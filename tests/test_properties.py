@@ -11,7 +11,6 @@ These pin the invariants the protocol design leans on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import ReplicationConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.kernel import SimulationError, Simulator, StopSimulation
-from repro.sim.sync import Event, Timeout
+from repro.sim.sync import Event
 
 
 class TestScheduling:

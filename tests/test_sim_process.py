@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.kernel import Simulator
-from repro.sim.process import Process, ProcessFailure
+from repro.sim.process import Process
 from repro.sim.sync import Event, Timeout
 
 

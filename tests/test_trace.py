@@ -1,7 +1,6 @@
 """Tracing, Lamport clocks, and the send-determinism checker."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.patterns import anysource_reduce, master_worker, ring, stencil_allreduce

@@ -13,10 +13,15 @@ compute-dominated apps where noise amplification dominates both equally).
 
 import numpy as np
 
-from benchmarks.conftest import record, run_once
+from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
+
+#: rank-scale knob: 8 ranks by default, 256 under REPRO_SCALE=paper
+#: (rounds shrink by the same factor — see benchmarks/conftest.py)
+N_RANKS, _COUNTS = scaled(8, rounds=200)
+ROUNDS = _COUNTS["rounds"]
 
 
 def anysource_fanin(mpi, rounds=200):
@@ -37,7 +42,9 @@ def anysource_fanin(mpi, rounds=200):
     return acc
 
 
-def _run(protocol, n=8, rounds=200):
+def _run(protocol, n=None, rounds=None):
+    n = N_RANKS if n is None else n
+    rounds = ROUNDS if rounds is None else rounds
     if protocol == "native":
         cfg = ReplicationConfig(degree=1, protocol="native")
     else:
@@ -69,7 +76,7 @@ def test_leader_vs_sdr_on_anysource(benchmark):
         ])
     print()
     print(render_table(
-        "Ablation — ANY_SOURCE fan-in under each protocol (8 ranks, r=2)",
+        f"Ablation — ANY_SOURCE fan-in under each protocol ({N_RANKS} ranks, r=2)",
         ["protocol", "runtime ms", "overhead %", "unexpected", "decisions"],
         rows,
     ))
@@ -93,8 +100,9 @@ def test_unexpected_messages(benchmark):
     results = {}
 
     def run_all():
-        results["sdr"] = _run("sdr", rounds=100)
-        results["leader"] = _run("leader", rounds=100)
+        half = max(1, ROUNDS // 2)
+        results["sdr"] = _run("sdr", rounds=half)
+        results["leader"] = _run("leader", rounds=half)
         return results
 
     run_once(benchmark, run_all)

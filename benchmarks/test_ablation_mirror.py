@@ -10,11 +10,15 @@ Claims measured:
 """
 
 
-from benchmarks.conftest import record, run_once
+from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
 from repro.mpi.datatypes import Phantom
+
+#: rank-scale knob: 16 ranks by default, 256 under REPRO_SCALE=paper
+N_RANKS, _COUNTS = scaled(16, iters=30)
+ITERS = _COUNTS["iters"]
 
 
 def bandwidth_exchange(mpi, iters=30, nbytes=512 * 1024):
@@ -28,13 +32,14 @@ def bandwidth_exchange(mpi, iters=30, nbytes=512 * 1024):
     return mpi.wtime()
 
 
-def _run(protocol, n=16):
+def _run(protocol, n=None):
+    n = N_RANKS if n is None else n
     if protocol == "native":
         cfg = ReplicationConfig(degree=1, protocol="native")
     else:
         cfg = ReplicationConfig(degree=2, protocol=protocol)
     job = Job(n, cfg=cfg, cluster=cluster_for(n, cfg.degree))
-    return job.launch(bandwidth_exchange).run()
+    return job.launch(bandwidth_exchange, iters=ITERS).run()
 
 
 def test_mirror_message_complexity_and_bandwidth(benchmark):
@@ -62,7 +67,7 @@ def test_mirror_message_complexity_and_bandwidth(benchmark):
         ])
     print()
     print(render_table(
-        "Ablation — bandwidth-bound halo exchange (16 ranks, 512 KiB msgs, r=2)",
+        f"Ablation — bandwidth-bound halo exchange ({N_RANKS} ranks, 512 KiB msgs, r=2)",
         ["protocol", "runtime ms", "overhead %", "app msgs", "GB on wire"],
         rows,
     ))

@@ -9,10 +9,14 @@ checkpointing; here we show the replication-side curve.
 
 import numpy as np
 
-from benchmarks.conftest import record, run_once
+from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
+
+#: rank-scale knob: 16 ranks by default, 256 under REPRO_SCALE=paper
+N_RANKS, _COUNTS = scaled(16, iters=40)
+ITERS = _COUNTS["iters"]
 
 
 def stencil(mpi, iters=40):
@@ -28,11 +32,12 @@ def stencil(mpi, iters=40):
     return (yield from mpi.allreduce(total, op="sum"))
 
 
-def _run(fraction, n=16):
+def _run(fraction, n=None):
+    n = N_RANKS if n is None else n
     replicated = frozenset(range(int(round(fraction * n))))
     cfg = ReplicationConfig(degree=2, protocol="sdr", replicated_ranks=replicated)
     job = Job(n, cfg=cfg, cluster=cluster_for(n, 2))
-    res = job.launch(stencil).run()
+    res = job.launch(stencil, iters=ITERS).run()
     return job, res
 
 
@@ -48,7 +53,7 @@ def test_partial_replication_tradeoff(benchmark):
     rows = []
     reference = None
     for fraction, (job, res) in sorted(results.items()):
-        n_procs = 16 + len([r for r in range(16) if job.cfg.rank_is_replicated(r)])
+        n_procs = N_RANKS + len([r for r in range(N_RANKS) if job.cfg.rank_is_replicated(r)])
         if reference is None:
             reference = res.runtime
         rows.append([
@@ -61,7 +66,7 @@ def test_partial_replication_tradeoff(benchmark):
         ])
     print()
     print(render_table(
-        "Ablation — partial replication sweep (16 ranks, r=2 on the replicated subset)",
+        f"Ablation — partial replication sweep ({N_RANKS} ranks, r=2 on the replicated subset)",
         ["replicated frac", "procs", "runtime ms", "vs 0% (%)", "frames", "acks"],
         rows,
     ))

@@ -9,10 +9,14 @@ same fan-in loop under both protocols.
 
 import numpy as np
 
-from benchmarks.conftest import record, run_once
+from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
+
+#: rank-scale knob: 8 ranks by default, 256 under REPRO_SCALE=paper
+N_RANKS, _COUNTS = scaled(8, rounds=150)
+ROUNDS = _COUNTS["rounds"]
 
 
 def fanin(mpi, rounds=150, anonymous=True, compute=30e-6):
@@ -40,13 +44,14 @@ def fanin(mpi, rounds=150, anonymous=True, compute=30e-6):
     return acc
 
 
-def _run(protocol, anonymous, n=8):
+def _run(protocol, anonymous, n=None):
+    n = N_RANKS if n is None else n
     if protocol == "native":
         cfg = ReplicationConfig(degree=1, protocol="native")
     else:
         cfg = ReplicationConfig(degree=2, protocol=protocol)
     job = Job(n, cfg=cfg, cluster=cluster_for(n, cfg.degree))
-    return job.launch(fanin, anonymous=anonymous).run()
+    return job.launch(fanin, rounds=ROUNDS, anonymous=anonymous).run()
 
 
 def test_redmpi_overhead_grows_with_nondeterminism(benchmark):
@@ -78,7 +83,7 @@ def test_redmpi_overhead_grows_with_nondeterminism(benchmark):
             ])
     print()
     print(render_table(
-        "Ablation — redMPI vs SDR under (non-)deterministic receptions (8 ranks)",
+        f"Ablation — redMPI vs SDR under (non-)deterministic receptions ({N_RANKS} ranks)",
         ["protocol", "receptions", "runtime ms", "overhead %", "decisions", "hashes"],
         rows,
     ))

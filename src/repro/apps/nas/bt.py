@@ -60,8 +60,12 @@ def bt_rank(
                 fwd = ((row + 1) % edge) * edge + (col + 1) % edge
                 bwd = ((row - 1) % edge) * edge + (col - 1) % edge
             # forward substitution boundary, then backward
-            yield from mpi.sendrecv(payload(face_bytes), dest=fwd, source=bwd, sendtag=300 + direction, recvtag=300 + direction)
-            yield from mpi.sendrecv(payload(face_bytes), dest=bwd, source=fwd, sendtag=310 + direction, recvtag=310 + direction)
+            yield from mpi.sendrecv(
+                payload(face_bytes), dest=fwd, source=bwd, sendtag=300 + direction, recvtag=300 + direction
+            )
+            yield from mpi.sendrecv(
+                payload(face_bytes), dest=bwd, source=fwd, sendtag=310 + direction, recvtag=310 + direction
+            )
         if (it + 1) % 20 == 0 or it == niter - 1:
             norm = yield from mpi.allreduce(float(it), op="sum")
     return norm

@@ -50,8 +50,12 @@ def sp_rank(
             else:
                 fwd = ((row + 1) % edge) * edge + (col + 1) % edge
                 bwd = ((row - 1) % edge) * edge + (col - 1) % edge
-            yield from mpi.sendrecv(payload(face_bytes), dest=fwd, source=bwd, sendtag=400 + direction, recvtag=400 + direction)
-            yield from mpi.sendrecv(payload(face_bytes), dest=bwd, source=fwd, sendtag=410 + direction, recvtag=410 + direction)
+            yield from mpi.sendrecv(
+                payload(face_bytes), dest=fwd, source=bwd, sendtag=400 + direction, recvtag=400 + direction
+            )
+            yield from mpi.sendrecv(
+                payload(face_bytes), dest=bwd, source=fwd, sendtag=410 + direction, recvtag=410 + direction
+            )
         if (it + 1) % 50 == 0 or it == niter - 1:
             norm = yield from mpi.allreduce(float(it), op="sum")
     return norm

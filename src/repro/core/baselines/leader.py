@@ -138,7 +138,8 @@ class LeaderDecideMixin:
 
     def _on_decide(self, env: Envelope) -> None:
         # Plain ctrl handler (no charge, no yields): returning None lets
-        # the PML skip driving a generator per decision frame.
+        # the PML skip driving a generator per decision frame.  The
+        # decision tuple is unpacked out of the borrowed envelope here.
         anon_id, source, tag = env.data
         self.decisions[anon_id] = (source, tag)
         return None

@@ -26,7 +26,9 @@ __all__ = ["MirrorProtocol"]
 class MirrorProtocol(ReplicatedBase):
     name = "mirror"
 
-    def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator[Any, Any, SendHandle]:
+    def app_isend(
+        self, ctx, src_rank, tag, data, world_dst, synchronous=False
+    ) -> Generator[Any, Any, SendHandle]:
         self.app_sends += 1
         seq = self.next_seq(world_dst)
         payload = copy_payload(data)

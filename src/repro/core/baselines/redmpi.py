@@ -88,7 +88,9 @@ class RedMpiProtocol(LeaderDecideMixin, ReplicatedBase):
         whose transmitted digest will not match the other replica's."""
         self._corrupt_pending += count
 
-    def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator[Any, Any, SendHandle]:
+    def app_isend(
+        self, ctx, src_rank, tag, data, world_dst, synchronous=False
+    ) -> Generator[Any, Any, SendHandle]:
         self.app_sends += 1
         seq = self.next_seq(world_dst)
         payload = copy_payload(data)
@@ -133,6 +135,10 @@ class RedMpiProtocol(LeaderDecideMixin, ReplicatedBase):
         return RecvHandle(req)
 
     def _check_on_recv_complete(self, env: Envelope, recv: Optional[PmlRecvRequest]) -> Generator:
+        # Vote state digests the payload *inside* the borrow window: the
+        # retained comparison record is a 64-bit digest, never the
+        # envelope (env.copy() is the escape hatch if a protocol variant
+        # ever needs the full message for its votes).
         key = (env.world_src, env.seq)
         own = payload_digest(env.data)
         self._own_digests[key] = own

@@ -10,6 +10,35 @@ completion conditions (SDR-MPI: "all r-1 acks collected").
 
 :class:`NativeProtocol` is the identity interposition — unmodified Open
 MPI — used for every "Native" column in the paper's tables.
+
+Envelope ownership across this surface
+--------------------------------------
+Every envelope a protocol sees through the interposition surface is
+**owned by the PML's recycling arena** (see :mod:`repro.mpi.pml`).  The
+contract, per entry point:
+
+* ``on_match(recv, env)`` / ``on_recv_complete(env, recv)`` / a
+  ``ctrl_handlers`` callable — *env* is a **borrow**: valid while the
+  handler runs (through every resumption, for generator handlers), recycled
+  the moment it returns.  Handlers copy out the fields they need; to hold
+  the whole message past the handler, call ``env.retain()`` (balanced later
+  by ``pml.release_env(env)``) or take an arena-independent snapshot with
+  ``env.copy()`` → :class:`~repro.mpi.pml.MessageView`.
+* ``incoming_filter(env)`` — ownership **transfers** to the filter when it
+  returns False: the filter must hand the envelope to
+  ``pml.deliver_to_matching`` (now or later — reorder buffers hold
+  ownership while an envelope is parked) or return it via
+  ``pml.release_env`` (duplicate drops).
+* ``pml.deliver_to_matching(env)`` — consumes the envelope: it ends up
+  recycled after completion hooks, or parked in the unexpected queue
+  (which the PML owns and reaps).
+
+Payload references obtained inside the window (``env.data``,
+``recv.data``) follow the copy-on-write snapshot discipline and stay valid
+after recycling — only the envelope *shell* is recycled.  Protocol-side
+retention (SDR's resend store, redMPI's vote state) therefore keeps
+payloads, digests, or :class:`~repro.mpi.pml.MessageView` snapshots, never
+raw envelopes.
 """
 
 from __future__ import annotations
@@ -18,11 +47,12 @@ from typing import Any, Dict, Generator, TYPE_CHECKING
 
 from repro.mpi.datatypes import copy_payload, nbytes_of
 from repro.mpi.handles import RecvHandle, SendHandle
+from repro.mpi.pml import MessageView
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.mpi.pml import Pml
 
-__all__ = ["SendHandle", "RecvHandle", "BaseProtocol", "NativeProtocol"]
+__all__ = ["SendHandle", "RecvHandle", "MessageView", "BaseProtocol", "NativeProtocol"]
 
 
 class BaseProtocol:
@@ -65,7 +95,7 @@ class BaseProtocol:
         return {
             "app_sends": self.app_sends,
             "app_recvs": self.app_recvs,
-            **self.pml.matching.stats(),
+            **self.pml.stats(),
         }
 
 
@@ -85,8 +115,7 @@ class NativeProtocol(BaseProtocol):
         if overhead > 0.0:
             yield overhead
         req = pml.post_send(
-            ctx, src_rank, tag, payload, self.world_rank, world_dst,
-            seq, world_dst, nbytes, synchronous,
+            ctx, src_rank, tag, payload, self.world_rank, world_dst, seq, world_dst, nbytes, synchronous
         )
         return SendHandle([req], world_dst, seq, nbytes=nbytes)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Set
 
 from repro.core.worlds import ReplicaMap
-from repro.network.fabric import Fabric, Frame
+from repro.network.fabric import Fabric
 from repro.sim.kernel import Simulator
 
 __all__ = ["MembershipService", "elect_substitute"]
@@ -75,12 +75,13 @@ class MembershipService:
         # a service frame straight into the endpoint (the detector is not an
         # MPI peer), handled at the victim's next MPI call.
         when = self.sim.now + self.detection_delay
-        for p, ep in enumerate(self.fabric.endpoints):
+        fabric = self.fabric
+        for p, ep in enumerate(fabric.endpoints):
             if p != proc and ep.alive:
                 self.sim.call_at(
                     when,
                     lambda ep=ep, proc=proc: ep.deliver(
-                        Frame(src=-1, dst=ep.proc, size=0, payload=("failure", proc), kind="svc")
+                        fabric.acquire_frame(-1, ep.proc, 0, ("failure", proc), kind="svc")
                     ),
                 )
 

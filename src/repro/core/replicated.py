@@ -64,7 +64,12 @@ class ReplicatedBase(BaseProtocol):
         """Release application envelopes to matching in per-channel order.
 
         Always returns False: delivery (if any) is performed here so that
-        held-back successors can be flushed in the right order.
+        held-back successors can be flushed in the right order.  Ownership
+        contract: the PML hands this filter the envelope; every path below
+        accounts for it — in-order and flushed envelopes are consumed by
+        ``deliver_to_matching``, early arrivals are *owned by the reorder
+        buffer* until flushed, and duplicates are returned to the arena
+        once :meth:`_on_duplicate` has finished with the borrow.
         """
         src = env.world_src
         expected = self._expected.get(src, 0)
@@ -86,31 +91,23 @@ class ReplicatedBase(BaseProtocol):
         # Duplicate: mirror copy, substitute resend, or recovery replay.
         self.duplicates_dropped += 1
         yield from self._on_duplicate(env)
+        self.pml.release_env(env)
         return False
 
     def _on_duplicate(self, env: Envelope) -> Generator:
-        """Default duplicate handling.
+        """Default duplicate handling (*env* is a borrow — the filter
+        releases it when this returns).
 
         A duplicate RTS must still be answered with a CTS so the sender's
         rendezvous request can complete; the DATA frame then finds no
         pending receive and is dropped by the PML.
         """
         if env.kind == "rts":
-            cts = Envelope(
-                kind="cts",
-                ctx=env.ctx,
-                src_rank=-1,
-                tag=-1,
-                world_src=-1,
-                world_dst=-1,
-                seq=env.seq,
-                nbytes=CTS_BYTES,
-                data=None,
-                src_phys=self.pml.proc,
-                dst_phys=env.src_phys,
-                msg_id=env.msg_id,
+            pml = self.pml
+            cts = pml.acquire_env(
+                "cts", env.ctx, -1, -1, -1, -1, env.seq, CTS_BYTES, None, env.src_phys, msg_id=env.msg_id
             )
-            yield from self.pml.inject(cts, CTS_BYTES)
+            yield from pml.inject(cts, CTS_BYTES)
 
     # ---------------------------------------------------------- replica math
     def alive_replicas_of(self, rank: int) -> List[int]:

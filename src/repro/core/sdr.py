@@ -68,8 +68,7 @@ class SdrSendHandle(SendHandle):
         nbytes: Optional[int] = None,
     ) -> None:
         super().__init__(
-            [], world_dst, seq, payload=payload,
-            nbytes=nbytes_of(payload) if nbytes is None else nbytes,
+            [], world_dst, seq, payload=payload, nbytes=nbytes_of(payload) if nbytes is None else nbytes
         )
         self.ctx = ctx
         self.src_rank = src_rank
@@ -111,6 +110,11 @@ class SdrProtocol(ReplicatedBase):
         self.acks_received = 0
         self.resends = 0
         self.failovers_handled = 0
+        # Hot-path caches: cfg is frozen for the job's lifetime, and the
+        # ack paths run once per application message received/acked.
+        self._ack_bytes = cfg.ack_bytes
+        self._ack_handle_overhead = cfg.ack_handle_overhead
+        self._ack_post_overhead = cfg.ack_post_overhead
         pml.ctrl_handlers[ACK] = self._on_ack
         pml.ctrl_handlers[RECOVERED] = self._on_recovered
         pml.on_recv_complete.append(self._ack_on_recv_complete)
@@ -128,7 +132,9 @@ class SdrProtocol(ReplicatedBase):
         return dests
 
     # ------------------------------------------------------------------ send
-    def app_isend(self, ctx, src_rank, tag, data, world_dst, synchronous=False) -> Generator[Any, Any, SdrSendHandle]:
+    def app_isend(
+        self, ctx, src_rank, tag, data, world_dst, synchronous=False
+    ) -> Generator[Any, Any, SdrSendHandle]:
         self.app_sends += 1
         seq = self.next_seq(world_dst)
         payload = copy_payload(data)
@@ -139,11 +145,14 @@ class SdrProtocol(ReplicatedBase):
         # replica of the destination rank.  Posting the ack receive costs
         # CPU (request management) — a real, measurable part of the
         # protocol's small-message overhead.
-        dests = self.dests_for(world_dst)
+        # dests_for inlined (one dict probe per application send)
+        dests = self.physical_dests.get(world_dst)
+        if dests is None:
+            dests = self.dests_for(world_dst)
         pml = self.pml
         endpoints = pml.fabric.endpoints
         n_ranks = self.rmap.n_ranks
-        ack_post = self.cfg.ack_post_overhead
+        ack_post = self._ack_post_overhead
         for rep in range(self.rmap.degree):
             ph = rep * n_ranks + world_dst  # rmap.phys, replica-major
             if ph in dests:
@@ -156,8 +165,7 @@ class SdrProtocol(ReplicatedBase):
                     yield overhead
                 handle.pml_reqs.append(
                     pml.post_send(
-                        ctx, src_rank, tag, payload, self.rank, world_dst,
-                        seq, ph, nbytes, synchronous,
+                        ctx, src_rank, tag, payload, self.rank, world_dst, seq, ph, nbytes, synchronous
                     )
                 )
             elif endpoints[ph].alive:
@@ -183,25 +191,32 @@ class SdrProtocol(ReplicatedBase):
 
         Body of :meth:`_send_acks` inlined — this hook runs once per
         received application message, and the sub-generator delegation is
-        measurable at that rate.
+        measurable at that rate.  *env* is a borrow (see
+        :mod:`repro.core.interpose`): every field the acks need is read
+        while the hook runs; nothing retains the envelope.
         """
         rmap = self.rmap
-        sender_rep = rmap.rep_of(env.src_phys)
         n_ranks = rmap.n_ranks
+        sender_rep = env.src_phys // n_ranks  # rmap.rep_of, unchecked
         pml = self.pml
         endpoints = pml.fabric.endpoints
+        send_cost = pml._send_cost
         src_rank = env.world_src
         seq = env.seq
+        ack_bytes = self._ack_bytes
         for rep in range(rmap.degree):
             if rep == sender_rep:
                 continue
             ph = rep * n_ranks + src_rank  # rmap.phys, replica-major
             if endpoints[ph].alive:
                 self.acks_sent += 1
-                overhead = pml.send_cost(ph)
-                if overhead > 0.0:
-                    yield overhead
-                pml.inject_ctrl(ph, ACK, (self.rank, seq), self.cfg.ack_bytes)
+                # pml.send_cost inlined: one dict probe per ack sent
+                cost = send_cost.get(ph)
+                if cost is None:
+                    cost = pml._send_cost_to(ph)
+                if cost[0] > 0.0:
+                    yield cost[0]
+                pml.inject_ctrl(ph, ACK, (self.rank, seq), ack_bytes)
 
     def _send_acks(self, src_rank: int, sender_rep: int, seq: int) -> Generator:
         n_ranks = self.rmap.n_ranks
@@ -223,10 +238,13 @@ class SdrProtocol(ReplicatedBase):
         yield from self._send_acks(env.world_src, self.rmap.rep_of(env.src_phys), env.seq)
 
     def _on_ack(self, env: Envelope) -> Generator:
+        # ctrl borrow: (world_dst, seq) is unpacked out of the envelope
+        # up front; the PML recycles it when this generator finishes.
         world_dst, seq = env.data
         self.acks_received += 1
-        if self.cfg.ack_handle_overhead > 0:
-            yield self.cfg.ack_handle_overhead
+        overhead = self._ack_handle_overhead
+        if overhead > 0:
+            yield overhead
         handle = self.retention.get((world_dst, seq))
         if handle is not None:
             handle.needs_ack.discard(env.src_phys)

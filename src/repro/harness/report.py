@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["render_table", "render_series", "overhead_row", "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_FIG7_POINTS"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "overhead_row",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_FIG7_POINTS",
+]
 
 #: Table 1 of the paper (class D, 256 procs, r=2)
 PAPER_TABLE1: Dict[str, Tuple[float, float, float]] = {

@@ -88,6 +88,7 @@ class Job:
         seed: int = 0,
         jitter: Optional[Callable[[], float]] = None,
         recorder_factory: Optional[Callable[[int, int], Any]] = None,
+        pooling: bool = True,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
         self.n_ranks = n_ranks
@@ -102,7 +103,13 @@ class Job:
         self.placement.validate()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
+        #: ``pooling=False`` bypasses the Frame and Envelope arenas (every
+        #: acquire constructs fresh) while keeping the ownership accounting
+        #: intact — the equivalence suite proves the pooled engine
+        #: observationally identical to this mode.
+        self.pooling = pooling
         self.fabric = Fabric(self.sim, self.placement, jitter=jitter)
+        self.fabric.pool_frames = pooling
         self.membership = MembershipService(
             self.sim, self.fabric, self.rmap, detection_delay=self.cfg.detection_delay
         )
@@ -145,6 +152,7 @@ class Job:
     # ------------------------------------------------------------- plumbing
     def _build_stack(self, proc: int) -> None:
         pml = Pml(self.sim, self.fabric, proc)
+        pml.pool_envelopes = self.pooling
         if self.cfg.protocol == "native":
             protocol = NativeProtocol(pml, world_rank=proc)
         else:
@@ -264,6 +272,8 @@ class Job:
                 raise DeadlockError(blocked)
         if lost and not allow_lost_ranks:
             raise MpiError(f"application lost ranks {lost}: every replica failed")
+        if until is None and self.fabric.crashes == 0:
+            self._assert_arenas_balanced()
         finished = [t for p, t in self.finish_times.items()]
         return JobResult(
             runtime=max(finished) if finished else self.sim.now,
@@ -274,7 +284,38 @@ class Job:
                 "frames": self.fabric.total_frames,
                 "bytes": self.fabric.total_bytes,
                 "by_kind": dict(self.fabric.frames_by_kind),
+                **self.fabric.stats(),
             },
             events=self.sim.events_dispatched,
             lost_ranks=lost,
         )
+
+    def _assert_arenas_balanced(self) -> None:
+        """Leak check: every Frame/Envelope acquire must have a release.
+
+        Runs in the teardown of every crash-free, run-to-completion job
+        (crashes drop in-flight frames and abandon generators mid-charge,
+        which legitimately strands objects outside the arenas).  Leftovers
+        with a well-defined end-of-run owner — inbox frames that arrived
+        after the last application statement, unexpected-queue envelopes
+        the application never received — are reaped into the arenas first;
+        anything still unbalanced after that is an ownership bug in the
+        delivery path.
+        """
+        for pml in self.pmls.values():
+            pml.reap()
+        fab = self.fabric
+        if fab.frames_acquired != fab.frames_released:
+            raise AssertionError(
+                f"frame arena leak: {fab.frames_acquired} acquired vs "
+                f"{fab.frames_released} released "
+                f"({fab.frames_acquired - fab.frames_released} stranded)"
+            )
+        env_acquired = sum(p.env_acquired for p in self.pmls.values())
+        env_released = sum(p.env_released for p in self.pmls.values())
+        if env_acquired != env_released:
+            raise AssertionError(
+                f"envelope arena leak: {env_acquired} acquired vs "
+                f"{env_released} released "
+                f"({env_acquired - env_released} stranded)"
+            )

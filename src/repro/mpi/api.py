@@ -134,16 +134,14 @@ class MpiProcess:
 
     # --------------------------------------------------------- nonblocking
     def isend_on(
-        self, comm: Communicator, ctx: Any, dest: int, tag: int, data: Any,
-        synchronous: bool = False,
+        self, comm: Communicator, ctx: Any, dest: int, tag: int, data: Any, synchronous: bool = False
     ) -> Generator[Any, Any, "SendHandle"]:
         """Protocol-routed send on an explicit matching context."""
         world_dst = comm.world_of(dest)
         if self.recorder is not None:
             self.recorder.record_send(ctx, comm.rank, dest, world_dst, tag, nbytes_of(data))
         handle = yield from self.protocol.app_isend(
-            ctx=ctx, src_rank=comm.rank, tag=tag, data=data, world_dst=world_dst,
-            synchronous=synchronous,
+            ctx=ctx, src_rank=comm.rank, tag=tag, data=data, world_dst=world_dst, synchronous=synchronous
         )
         return handle
 
@@ -294,8 +292,7 @@ class MpiProcess:
                 comm.ctx_p2p, comm.rank, dest, world_dst, tag, nbytes_of(data)
             )
         handle = yield from self.protocol.app_isend(
-            ctx=comm.ctx_p2p, src_rank=comm.rank, tag=tag, data=data,
-            world_dst=world_dst, synchronous=False,
+            ctx=comm.ctx_p2p, src_rank=comm.rank, tag=tag, data=data, world_dst=world_dst, synchronous=False
         )
         pml = self.pml
         ep = pml.endpoint
@@ -378,11 +375,62 @@ class MpiProcess:
         recvtag: int = ANY_TAG,
         comm: Optional[Communicator] = None,
     ) -> Generator[Any, Any, Tuple[Any, Status]]:
+        """Fused MPI_Sendrecv (flattened fast path; see :meth:`send`).
+
+        Posting order (receive first, then send), recorder calls and the
+        progress step match the irecv + isend + ``wait_handles`` tower
+        exactly; only the delegation frames and the per-iteration
+        ``advance()`` calls on stock handles are gone.  Halo exchanges are
+        the dominant call shape of the paper-scale workloads, which is
+        what earns this one its own flat body.
+        """
         comm = comm or self.world
-        rhandle = yield from self.irecv(source, recvtag, comm)
-        shandle = yield from self.isend(senddata, dest, sendtag, comm)
-        yield from self.wait_handles([shandle, rhandle])
-        return rhandle.data, rhandle.status
+        if source != ANY_SOURCE and not (0 <= source < comm.size):
+            raise MpiError(f"receive source {source} outside communicator of size {comm.size}")
+        ctx = comm.ctx_p2p
+        protocol = self.protocol
+        rhandle = yield from protocol.app_irecv(ctx=ctx, source=source, tag=recvtag, buf=None)
+        world_dst = comm.world_of(dest)
+        if self.recorder is not None:
+            self.recorder.record_send(
+                ctx, comm.rank, dest, world_dst, sendtag, nbytes_of(senddata)
+            )
+        shandle = yield from protocol.app_isend(
+            ctx=ctx, src_rank=comm.rank, tag=sendtag, data=senddata, world_dst=world_dst, synchronous=False
+        )
+        pml = self.pml
+        ep = pml.endpoint
+        s_fast = type(shandle).done is SendHandle.done
+        s_adv = getattr(shandle, "needs_advance", True)
+        r_stock = type(rhandle) is RecvHandle
+        r_req = rhandle.pml_req if r_stock else None
+        while True:
+            if s_adv:
+                gen = shandle.advance()
+                if gen is not None:
+                    yield from gen
+            if not r_stock:
+                gen = rhandle.advance()
+                if gen is not None:
+                    yield from gen
+            if s_fast:
+                if shandle.needs_ack:
+                    s_done = False
+                else:
+                    reqs = shandle.pml_reqs
+                    s_done = reqs[0].done if len(reqs) == 1 else all(r.done for r in reqs)
+            else:
+                s_done = shandle.done
+            if s_done:
+                if r_stock:
+                    if r_req.done:
+                        return r_req.data, r_req.status
+                elif rhandle.done:
+                    return rhandle.data, rhandle.status
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
 
     # ----------------------------------------------------------------- probe
     def iprobe(
@@ -412,7 +460,9 @@ class MpiProcess:
     def bcast(self, data: Any, root: int = 0, comm: Optional[Communicator] = None) -> Generator:
         return (yield from coll.bcast(self, comm or self.world, data, root))
 
-    def reduce(self, data: Any, op: str = "sum", root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+    def reduce(
+        self, data: Any, op: str = "sum", root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator:
         return (yield from coll.reduce(self, comm or self.world, data, op, root))
 
     def allreduce(self, data: Any, op: str = "sum", comm: Optional[Communicator] = None) -> Generator:
@@ -421,7 +471,9 @@ class MpiProcess:
     def gather(self, data: Any, root: int = 0, comm: Optional[Communicator] = None) -> Generator:
         return (yield from coll.gather(self, comm or self.world, data, root))
 
-    def scatter(self, chunks: Optional[List[Any]], root: int = 0, comm: Optional[Communicator] = None) -> Generator:
+    def scatter(
+        self, chunks: Optional[List[Any]], root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator:
         return (yield from coll.scatter(self, comm or self.world, chunks, root))
 
     def allgather(self, data: Any, comm: Optional[Communicator] = None) -> Generator:
@@ -430,7 +482,9 @@ class MpiProcess:
     def alltoall(self, chunks: List[Any], comm: Optional[Communicator] = None) -> Generator:
         return (yield from coll.alltoall(self, comm or self.world, chunks))
 
-    def reduce_scatter(self, chunks: List[Any], op: str = "sum", comm: Optional[Communicator] = None) -> Generator:
+    def reduce_scatter(
+        self, chunks: List[Any], op: str = "sum", comm: Optional[Communicator] = None
+    ) -> Generator:
         return (yield from coll.reduce_scatter_block(self, comm or self.world, chunks, op))
 
     def scan(self, data: Any, op: str = "sum", comm: Optional[Communicator] = None) -> Generator:

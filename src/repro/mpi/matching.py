@@ -223,6 +223,24 @@ class MatchEngine:
             lane.popleft()
         return None
 
+    def drain_unexpected(self) -> List["Envelope"]:
+        """Remove and return every pending unexpected envelope, in arrival
+        order (end-of-run teardown: the PML returns them to its arena)."""
+        seen: Dict[int, list] = {}
+        for lane in self._unexpected_lanes.values():
+            for e in lane:
+                if e[_ALIVE]:
+                    seen[e[_SEQ]] = e
+        out: List["Envelope"] = []
+        for s in sorted(seen):
+            entry = seen[s]
+            entry[_ALIVE] = False
+            out.append(entry[_ITEM])
+            entry[_ITEM] = None
+        self._unexpected_lanes.clear()
+        self._unexpected_pending = 0
+        return out
+
     def stats(self) -> dict:
         return {
             "unexpected_count": self.unexpected_count,
@@ -290,6 +308,13 @@ class LinearMatchEngine:
                 continue
             return env
         return None
+
+    def drain_unexpected(self) -> List["Envelope"]:
+        """Remove and return every pending unexpected envelope, in arrival
+        order (end-of-run teardown: the PML returns them to its arena)."""
+        out = list(self.unexpected)
+        self.unexpected.clear()
+        return out
 
     def stats(self) -> dict:
         return {

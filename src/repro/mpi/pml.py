@@ -23,6 +23,37 @@ receiver ``model.recv_overhead``.  Wire serialization and propagation are
 charged by the fabric.  There is **no asynchronous progress**: frames are
 handled only inside :meth:`Pml.progress_step`, which runs only while the
 owning process executes an MPI call.
+
+Envelope ownership contract
+---------------------------
+Every :class:`Envelope` — all five kinds — recycles through a per-PML
+arena and has **exactly one owner** at every point in its lifetime:
+
+* the sending PML allocates from its arena (:meth:`Pml.acquire_env`) and
+  ownership travels with the frame to the receiving PML;
+* on the receive side, ownership moves through a fixed pipeline —
+  ``incoming_filter`` (which may park the envelope, e.g. in a reorder
+  buffer) → :meth:`Pml.deliver_to_matching` (which *consumes* it: either
+  the unexpected queue holds it, or matching completes and the PML
+  releases it) — and the PML returns the envelope to the arena the moment
+  the last handler has run (:meth:`Pml.release_env`);
+* hooks (``on_match``, ``on_recv_complete``) and ``ctrl_handlers``
+  receive the envelope as a **borrow**: it is valid for the duration of
+  the handler invocation (including every resumption of a generator
+  handler until it finishes) and must not be retained past it.  A
+  protocol that needs the message afterwards takes the explicit escape
+  hatch: :meth:`Envelope.retain` keeps the envelope out of the arena
+  until a matching :meth:`Pml.release_env`, or :meth:`Envelope.copy`
+  snapshots it into an arena-independent, read-only
+  :class:`MessageView`.
+
+Payloads are *not* part of the recycling: ``env.data`` refers to the
+copy-on-write snapshot machinery of :mod:`repro.mpi.datatypes`, and
+``Pml._complete_recv`` hands that reference to the receive request before
+the shell is recycled.  ``tests/test_pooling_equivalence.py`` proves the
+arena observationally equivalent to plain allocation (``pool_envelopes``
+bypass flag), and the harness asserts the arenas balance — every acquire
+matched by a release — at the end of every crash-free run.
 """
 
 from __future__ import annotations
@@ -40,6 +71,7 @@ from repro.sim.kernel import Simulator
 
 __all__ = [
     "Envelope",
+    "MessageView",
     "Pml",
     "PmlRecvRequest",
     "PmlSendRequest",
@@ -67,6 +99,10 @@ class Envelope:
 
     A ``__slots__`` class rather than a dataclass: one envelope per frame
     makes its construction part of the per-message critical path.
+
+    Instances delivered by the PML are arena-owned **borrows** (see the
+    module docstring): handlers read them freely while they run, and use
+    :meth:`retain`/:meth:`copy` to hold a message past the handler.
     """
 
     __slots__ = (
@@ -83,6 +119,7 @@ class Envelope:
         "dst_phys",
         "msg_id",
         "ctrl_key",
+        "_refs",
     )
 
     def __init__(
@@ -114,6 +151,7 @@ class Envelope:
         self.dst_phys = dst_phys
         self.msg_id = msg_id
         self.ctrl_key = ctrl_key
+        self._refs = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -123,35 +161,85 @@ class Envelope:
             f"dst_phys={self.dst_phys}, msg_id={self.msg_id}, ctrl_key={self.ctrl_key!r})"
         )
 
-    def clone_for(self, dst_phys: int) -> "Envelope":
-        """Copy addressed to a different physical destination (mirror/resend)."""
-        return Envelope(
-            kind=self.kind,
-            ctx=self.ctx,
-            src_rank=self.src_rank,
-            tag=self.tag,
-            world_src=self.world_src,
-            world_dst=self.world_dst,
-            seq=self.seq,
-            nbytes=self.nbytes,
-            data=self.data,
-            src_phys=self.src_phys,
-            dst_phys=dst_phys,
-            msg_id=self.msg_id,
-            ctrl_key=self.ctrl_key,
+    def retain(self) -> "Envelope":
+        """Escape hatch: keep this envelope alive past the borrow window.
+
+        Each ``retain()`` must be balanced by one :meth:`Pml.release_env`
+        — the envelope returns to the arena only when every holder has
+        released it.  Prefer :meth:`copy` unless you need the live object.
+        """
+        self._refs += 1
+        return self
+
+    def copy(self) -> "MessageView":
+        """Arena-independent, read-only snapshot of this message.
+
+        The safe way for a protocol to hold a message for later comparison
+        (redMPI-style vote checks, diagnostics): the view shares the
+        immutable payload snapshot but is detached from the recycling
+        arena, so it stays valid forever.
+        """
+        return MessageView(self)
+
+
+class MessageView:
+    """Immutable snapshot of a delivered message.
+
+    Carries the matching/replication-relevant fields of an
+    :class:`Envelope` (ctx/src/tag/seq/payload and the physical
+    addressing), detached from the recycling arena: a view taken inside a
+    hook stays valid after the envelope shell has been recycled.  The
+    payload reference follows the copy-on-write snapshot discipline of
+    :mod:`repro.mpi.datatypes` (immutable, shared).  Attribute assignment
+    raises — a view is a value, not a message in flight.
+    """
+
+    __slots__ = (
+        "kind",
+        "ctx",
+        "src_rank",
+        "tag",
+        "world_src",
+        "world_dst",
+        "seq",
+        "nbytes",
+        "data",
+        "src_phys",
+        "dst_phys",
+        "msg_id",
+        "ctrl_key",
+    )
+
+    def __init__(self, env: Envelope) -> None:
+        setattr_ = object.__setattr__
+        for field in self.__slots__:
+            setattr_(self, field, getattr(env, field))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"MessageView is read-only (tried to set {name!r})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MessageView(kind={self.kind!r}, ctx={self.ctx!r}, src_rank={self.src_rank}, "
+            f"tag={self.tag}, seq={self.seq}, nbytes={self.nbytes})"
         )
 
 
 class PmlSendRequest:
-    """Library-level send request: done at ``isendComplete``."""
+    """Library-level send request: done at ``isendComplete``.
 
-    __slots__ = ("dst_phys", "nbytes", "done", "msg_id", "envelope", "cancelled")
+    Holds no envelope reference: under the ownership contract the eager
+    envelope belongs to the wire (and then to the receiving PML) the
+    moment it is injected, and rendezvous retention lives in the PML's
+    ``_rdv_sends`` table until the CTS arrives.
+    """
 
-    def __init__(self, dst_phys: int, nbytes: int, msg_id: int, envelope: Envelope) -> None:
+    __slots__ = ("dst_phys", "nbytes", "done", "msg_id", "cancelled")
+
+    def __init__(self, dst_phys: int, nbytes: int, msg_id: int) -> None:
         self.dst_phys = dst_phys
         self.nbytes = nbytes
         self.msg_id = msg_id
-        self.envelope = envelope
         self.done = False
         self.cancelled = False
 
@@ -161,7 +249,10 @@ class PmlRecvRequest:
 
     ``lib_complete`` mirrors the paper's ``irecvComplete``: payload fully in
     the library.  ``done`` is application-level completion (payload copied
-    into the user buffer, status filled).
+    into the user buffer, status filled).  ``matched`` exposes the matched
+    envelope **only during the match/complete hook window** — it is cleared
+    when the PML recycles the envelope (take a :meth:`Envelope.copy` in an
+    ``on_match`` hook to keep it).
     """
 
     __slots__ = (
@@ -209,20 +300,32 @@ class Pml:
         # interposition surface
         self.on_match: List[HookFn] = []
         self.on_recv_complete: List[HookFn] = []
+        #: a filter that returns False takes *ownership* of the envelope:
+        #: it must eventually hand it to :meth:`deliver_to_matching` or
+        #: return it via :meth:`release_env` (duplicate drops)
         self.incoming_filter: Optional[Callable[[Envelope], Generator]] = None
-        #: ctrl envelopes are pool-recycled the moment a handler returns —
-        #: handlers must copy out whatever they need and never retain the
-        #: envelope object itself (every in-tree handler complies)
+        #: ctrl envelopes are recycled the moment a handler returns —
+        #: handlers get a borrow and must copy out whatever they need
+        #: (``env.retain()``/``env.copy()`` are the escape hatches)
         self.ctrl_handlers: Dict[str, Callable[[Envelope], Generator]] = {}
         self.svc_handlers: Dict[str, Callable[[Any], Generator]] = {}
-        #: free list for the protocol-private envelope kinds (see
-        #: :meth:`_acquire_env`)
+        #: free list shared by every envelope kind (see module docstring);
+        #: ``pool_envelopes = False`` bypasses recycling (equivalence tests)
+        #: while keeping the acquire/release accounting intact
         self._env_pool: List[Envelope] = []
+        self.pool_envelopes = True
+        #: arena accounting: every acquire must be matched by a release
+        #: (checked at end-of-run by the harness on crash-free jobs)
+        self.env_acquired = 0
+        self.env_allocated = 0  # pool misses (fresh constructions)
+        self.env_released = 0
         # Per-peer cost caches (models are immutable for a job's lifetime):
         # dst -> (send_overhead, eager_limit), src -> recv_overhead.  One
         # dict probe per frame instead of fabric/placement lookups.
         self._send_cost: Dict[int, Tuple[float, int]] = {}
         self._recv_cost: Dict[int, float] = {}
+        #: bound-method cache: one attribute chase per handled frame saved
+        self._release_frame = fabric.release_frame
         # counters
         self.sends_posted = 0
         self.recvs_posted = 0
@@ -248,7 +351,7 @@ class Pml:
         return cost
 
     # ------------------------------------------------------- envelope arena
-    def _acquire_env(
+    def acquire_env(
         self,
         kind: str,
         ctx: Any,
@@ -263,17 +366,17 @@ class Pml:
         msg_id: int = -1,
         ctrl_key: str = "",
     ) -> Envelope:
-        """Pool-backed Envelope for the *protocol-private* kinds.
+        """Pool-backed Envelope — the only allocation site on a send path.
 
-        Only ``ctrl`` and ``cts`` envelopes recycle through the arena: they
-        are born in the PML (or a protocol's charge-then-inject split),
-        consumed exactly once inside :meth:`_handle_frame`/:meth:`_handle_cts`
-        on the receiving side, and never touch the interposition surface.
-        Application envelopes (``eager``/``rts``/``data``) are **never**
-        pooled — matching queues, reorder buffers, ``on_match`` /
-        ``on_recv_complete`` hooks and request handles may all legitimately
-        retain them (and tests do).
+        Every kind recycles: application envelopes (``eager``/``rts``/
+        ``data``) are consumed by the receive pipeline and released when
+        the last hook has run; protocol-private ones (``ctrl``/``cts``)
+        are consumed exactly once inside
+        :meth:`_handle_frame`/:meth:`_handle_cts`.  The caller owns the
+        returned envelope until it injects it (ownership travels with the
+        frame) or releases it.
         """
+        self.env_acquired += 1
         pool = self._env_pool
         if pool:
             env = pool.pop()
@@ -290,7 +393,9 @@ class Pml:
             env.dst_phys = dst_phys
             env.msg_id = msg_id
             env.ctrl_key = ctrl_key
+            env._refs = 1
             return env
+        self.env_allocated += 1
         return Envelope(
             kind=kind,
             ctx=ctx,
@@ -307,13 +412,22 @@ class Pml:
             ctrl_key=ctrl_key,
         )
 
-    def _release_env(self, env: Envelope) -> None:
-        """Explicit reset + return to the arena: drop the payload and
-        context references so a parked envelope pins nothing."""
+    def release_env(self, env: Envelope) -> None:
+        """Drop one ownership reference; recycle at zero.
+
+        Explicit reset on recycle: the payload and context references are
+        cleared so a parked envelope pins nothing.  Envelopes retained via
+        :meth:`Envelope.retain` stay live until their holder releases.
+        """
+        refs = env._refs
+        if refs > 1:
+            env._refs = refs - 1
+            return
+        self.env_released += 1
         env.ctx = None
         env.data = None
         pool = self._env_pool
-        if len(pool) < 4096:
+        if self.pool_envelopes and len(pool) < 4096:
             pool.append(env)
 
     def inject(self, env: Envelope, wire_bytes: int) -> Generator:
@@ -364,39 +478,44 @@ class Pml:
         cost = self._send_cost.get(dst_phys)
         if cost is None:
             cost = self._send_cost_to(dst_phys)
-        kind = "eager" if (not synchronous and nbytes <= cost[1]) else "rts"
-        env = Envelope(
-            kind=kind,
-            ctx=ctx,
-            src_rank=src_rank,
-            tag=tag,
-            world_src=world_src,
-            world_dst=world_dst,
-            seq=seq,
-            nbytes=nbytes,
-            data=payload,
-            src_phys=self.proc,
-            dst_phys=dst_phys,
-            msg_id=msg_id,
-        )
-        req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
+        req = PmlSendRequest(dst_phys, nbytes, msg_id)
         self.sends_posted += 1
         # inject() inlined: one application send per call makes the extra
-        # sub-generator measurable.
+        # sub-generator measurable.  Envelopes are acquired *after* the
+        # charge so an abandoned generator (crash mid-charge) strands
+        # nothing outside the arena.
         overhead = cost[0]
-        if kind == "eager":
+        if not synchronous and nbytes <= cost[1]:
             if overhead > 0.0:
                 yield overhead
+            env = self.acquire_env(
+                "eager",
+                ctx,
+                src_rank,
+                tag,
+                world_src,
+                world_dst,
+                seq,
+                nbytes,
+                payload,
+                dst_phys,
+                msg_id=msg_id,
+            )
             self.fabric.send(self.proc, dst_phys, nbytes, env, "eager")
             req.done = True
         else:
-            # Rendezvous: RTS now, DATA once the CTS comes back.
-            rts = env.clone_for(dst_phys)
-            rts.kind = "rts"
-            rts.data = None
-            self._rdv_sends[msg_id] = (req, env)
+            # Rendezvous: RTS now, DATA once the CTS comes back.  The
+            # payload-bearing envelope is retained in _rdv_sends (owned by
+            # this PML); the RTS on the wire carries no payload.
             if overhead > 0.0:
                 yield overhead
+            env = self.acquire_env(
+                "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, payload, dst_phys, msg_id=msg_id
+            )
+            self._rdv_sends[msg_id] = (req, env)
+            rts = self.acquire_env(
+                "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, None, dst_phys, msg_id=msg_id
+            )
             self.fabric.send(self.proc, dst_phys, RTS_BYTES, rts, "rts")
         return req
 
@@ -433,31 +552,32 @@ class Pml:
         cost = self._send_cost.get(dst_phys)
         if cost is None:
             cost = self._send_cost_to(dst_phys)
-        kind = "eager" if (not synchronous and nbytes <= cost[1]) else "rts"
-        env = Envelope(
-            kind=kind,
-            ctx=ctx,
-            src_rank=src_rank,
-            tag=tag,
-            world_src=world_src,
-            world_dst=world_dst,
-            seq=seq,
-            nbytes=nbytes,
-            data=payload,
-            src_phys=self.proc,
-            dst_phys=dst_phys,
-            msg_id=msg_id,
-        )
-        req = PmlSendRequest(dst_phys, nbytes, msg_id, env)
+        req = PmlSendRequest(dst_phys, nbytes, msg_id)
         self.sends_posted += 1
-        if kind == "eager":
+        if not synchronous and nbytes <= cost[1]:
+            env = self.acquire_env(
+                "eager",
+                ctx,
+                src_rank,
+                tag,
+                world_src,
+                world_dst,
+                seq,
+                nbytes,
+                payload,
+                dst_phys,
+                msg_id=msg_id,
+            )
             self.fabric.send(self.proc, dst_phys, nbytes, env, "eager")
             req.done = True
         else:
-            rts = env.clone_for(dst_phys)
-            rts.kind = "rts"
-            rts.data = None
+            env = self.acquire_env(
+                "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, payload, dst_phys, msg_id=msg_id
+            )
             self._rdv_sends[msg_id] = (req, env)
+            rts = self.acquire_env(
+                "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, None, dst_phys, msg_id=msg_id
+            )
             self.fabric.send(self.proc, dst_phys, RTS_BYTES, rts, "rts")
         return req
 
@@ -468,11 +588,32 @@ class Pml:
         — see :meth:`send_ctrl` for the composed generator form.  The
         envelope and frame both come from the recycling arenas: control
         traffic (acks, decisions) outnumbers application frames under
-        replication, so this path is allocation-free at steady state.
+        replication, so this path is allocation-free at steady state
+        (acquire_env inlined — one call per control frame is measurable).
         """
-        env = self._acquire_env(
-            "ctrl", None, -1, -1, -1, -1, -1, nbytes, data, dst_phys, ctrl_key=ctrl_key
-        )
+        self.env_acquired += 1
+        pool = self._env_pool
+        if pool:
+            env = pool.pop()
+            env.kind = "ctrl"
+            env.ctx = None
+            env.src_rank = -1
+            env.tag = -1
+            env.world_src = -1
+            env.world_dst = -1
+            env.seq = -1
+            env.nbytes = nbytes
+            env.data = data
+            env.src_phys = self.proc
+            env.dst_phys = dst_phys
+            env.msg_id = -1
+            env.ctrl_key = ctrl_key
+            env._refs = 1
+        else:
+            self.env_allocated += 1
+            env = Envelope(
+                "ctrl", None, -1, -1, -1, -1, -1, nbytes, data, self.proc, dst_phys, ctrl_key=ctrl_key
+            )
         self.fabric.send(self.proc, dst_phys, nbytes, env, "ctrl")
 
     def send_ctrl(self, dst_phys: int, ctrl_key: str, data: Any, nbytes: int = CTRL_BYTES) -> Generator:
@@ -485,7 +626,7 @@ class Pml:
             cost = self._send_cost_to(dst_phys)
         if cost[0] > 0.0:
             yield cost[0]
-        env = self._acquire_env(
+        env = self.acquire_env(
             "ctrl", None, -1, -1, -1, -1, -1, nbytes, data, dst_phys, ctrl_key=ctrl_key
         )
         self.fabric.send(self.proc, dst_phys, nbytes, env, "ctrl")
@@ -534,10 +675,18 @@ class Pml:
         # The frame is fully consumed by the field reads below; recycle it
         # immediately (before any yield) so an abandoned generator — a
         # process crashing mid-charge — cannot strand it outside the pool.
+        # The envelope's ownership moves from the frame to this PML here.
+        # (Fabric.release_frame inlined: once per frame handled.)
         kind = frame.kind
         payload = frame.payload
         src = frame.src
-        self.fabric.release_frame(frame)
+        fabric = self.fabric
+        fabric.frames_released += 1
+        frame.payload = None
+        frame.fabric = None
+        fpool = fabric._frame_pool
+        if fabric.pool_frames and len(fpool) < 4096:
+            fpool.append(frame)
         if kind == "svc":
             key, svc_payload = payload
             handler = self.svc_handlers.get(key)
@@ -548,7 +697,7 @@ class Pml:
         if src >= 0:
             overhead = self._recv_cost.get(src)
             if overhead is None:
-                overhead = self.fabric.model_for(src, self.proc).recv_overhead
+                overhead = fabric.model_for(src, self.proc).recv_overhead
                 self._recv_cost[src] = overhead
             if overhead > 0.0:
                 yield overhead
@@ -559,18 +708,29 @@ class Pml:
             # A handler may be a generator function (driven here) or a
             # plain function returning None — the latter avoids a
             # generator allocation for bookkeeping-only handlers.  Once it
-            # returns, the envelope is recycled (handlers never retain it —
-            # see the ctrl_handlers contract).
+            # returns, the envelope is recycled (handlers hold a borrow —
+            # see the ctrl_handlers contract; release_env inlined: ctrl is
+            # the majority frame kind under replication).
             gen = handler(env)
             if gen is not None:
                 yield from gen
-            self._release_env(env)
+            if env._refs > 1:
+                env._refs -= 1
+            else:
+                self.env_released += 1
+                env.ctx = None
+                env.data = None
+                pool = self._env_pool
+                if self.pool_envelopes and len(pool) < 4096:
+                    pool.append(env)
         elif env.kind == "cts":
             yield from self._handle_cts(env)
         elif env.kind == "data":
             yield from self._handle_rdv_data(env)
         elif env.kind in ("eager", "rts"):
             if self.incoming_filter is not None:
+                # Ownership transfers to the filter: if it withholds the
+                # envelope (returns False) it must deliver or release it.
                 deliver = yield from self.incoming_filter(env)
                 if not deliver:
                     return
@@ -584,10 +744,14 @@ class Pml:
 
     # ---------------------------------------------------- matching plumbing
     def deliver_to_matching(self, env: Envelope) -> Generator:
-        """Offer an application envelope to MPI matching.
+        """Offer an application envelope to MPI matching — consuming it.
 
         Called from frame handling, and by the replication layer when it
-        releases held-back envelopes from its reorder buffer.
+        releases held-back envelopes from its reorder buffer.  Ownership
+        contract: this method consumes one reference — the envelope ends
+        up either recycled (matched-and-completed) or parked in the
+        unexpected queue, whose entries the PML releases when they match
+        (or at teardown).
         """
         recv = self.matching.arrive(env)
         if recv is not None:
@@ -604,7 +768,23 @@ class Pml:
                     gen = hook(env, recv)
                     if gen is not None:
                         yield from gen
-                self._complete_recv(recv, env)
+                # _complete_recv + release_env inlined (once per matched
+                # eager; the bufferless receive is the common case).
+                recv.data = env.data
+                if recv.buf is not None:
+                    self._copy_into_buf(recv, env)
+                recv.status = Status(env.src_rank, env.tag, env.nbytes)
+                recv.done = True
+                recv.matched = None  # end of the borrow window
+                if env._refs > 1:
+                    env._refs -= 1
+                else:
+                    self.env_released += 1
+                    env.ctx = None
+                    env.data = None
+                    pool = self._env_pool
+                    if self.pool_envelopes and len(pool) < 4096:
+                        pool.append(env)
             else:
                 yield from self._matched(recv, env, from_unexpected=False)
         else:
@@ -612,6 +792,7 @@ class Pml:
                 # Fully received at the library level even though unexpected:
                 # this *is* irecvComplete for the vProtocol layer (§3.3).
                 # (_fire_recv_complete inlined: once per unexpected eager.)
+                # The unexpected queue now owns the envelope; hooks borrow.
                 for hook in self.on_recv_complete:
                     gen = hook(env, None)
                     if gen is not None:
@@ -632,13 +813,37 @@ class Pml:
                     gen = hook(env, recv)
                     if gen is not None:
                         yield from gen
-            self._complete_recv(recv, env)
+            # _complete_recv + release_env inlined (the unexpected-queue
+            # match is the hot path of every ANY_SOURCE-heavy workload).
+            recv.lib_complete = True
+            recv.data = env.data
+            if recv.buf is not None:
+                self._copy_into_buf(recv, env)
+            recv.status = Status(env.src_rank, env.tag, env.nbytes)
+            recv.done = True
+            recv.matched = None  # end of the borrow window
+            if env._refs > 1:
+                env._refs -= 1
+            else:
+                self.env_released += 1
+                env.ctx = None
+                env.data = None
+                pool = self._env_pool
+                if self.pool_envelopes and len(pool) < 4096:
+                    pool.append(env)
         elif env.kind == "rts":
-            # Clear the sender to transfer the payload.
-            self._rdv_recvs[(env.src_phys, env.msg_id)] = recv
-            cts = self._acquire_env(
-                "cts", env.ctx, -1, -1, -1, -1, env.seq, CTS_BYTES, None,
-                env.src_phys, msg_id=env.msg_id,
+            # Clear the sender to transfer the payload.  The RTS is fully
+            # consumed by the field reads below; recycle it before the CTS
+            # injection can yield (crash-mid-charge strands nothing).
+            ctx = env.ctx
+            seq = env.seq
+            src_phys = env.src_phys
+            msg_id = env.msg_id
+            self._rdv_recvs[(src_phys, msg_id)] = recv
+            recv.matched = None
+            self.release_env(env)
+            cts = self.acquire_env(
+                "cts", ctx, -1, -1, -1, -1, seq, CTS_BYTES, None, src_phys, msg_id=msg_id
             )
             yield from self.inject(cts, CTS_BYTES)
         else:  # pragma: no cover - defensive
@@ -648,23 +853,38 @@ class Pml:
         entry = self._rdv_sends.pop(cts.msg_id, None)
         # The CTS is consumed by that single lookup: recycle it before the
         # DATA injection below can yield.
-        self._release_env(cts)
+        self.release_env(cts)
         if entry is None:
             return  # send was cancelled (destination died)
         req, env = entry
-        if req.cancelled:
+        if req.cancelled:  # pragma: no cover - cancel also removes the entry
+            self.release_env(env)
             return
-        data_env = env.clone_for(env.dst_phys)
-        data_env.kind = "data"
+        data_env = self.acquire_env(
+            "data",
+            env.ctx,
+            env.src_rank,
+            env.tag,
+            env.world_src,
+            env.world_dst,
+            env.seq,
+            env.nbytes,
+            env.data,
+            env.dst_phys,
+            msg_id=env.msg_id,
+        )
+        self.release_env(env)
         yield from self.inject(data_env, data_env.nbytes)
         req.done = True
 
     def _handle_rdv_data(self, env: Envelope) -> Generator:
         recv = self._rdv_recvs.pop((env.src_phys, env.msg_id), None)
         if recv is None:
+            self.release_env(env)
             return  # receive was cancelled after CTS
         yield from self._fire_recv_complete(env, recv)
         self._complete_recv(recv, env)
+        self.release_env(env)
 
     def _fire_recv_complete(self, env: Envelope, recv: Optional[PmlRecvRequest]) -> Generator:
         if recv is not None:
@@ -674,10 +894,9 @@ class Pml:
             if gen is not None:
                 yield from gen
 
-    def _complete_recv(self, recv: PmlRecvRequest, env: Envelope) -> None:
-        recv.lib_complete = True
-        recv.data = env.data
-        if recv.buf is not None and isinstance(recv.buf, np.ndarray) and isinstance(env.data, np.ndarray):
+    def _copy_into_buf(self, recv: PmlRecvRequest, env: Envelope) -> None:
+        """MPI_Recv-into-buffer semantics for the posted-buffer case."""
+        if isinstance(recv.buf, np.ndarray) and isinstance(env.data, np.ndarray):
             if env.data.nbytes > recv.buf.nbytes:
                 raise TruncationError(
                     f"proc {self.proc}: message of {env.data.nbytes} B truncates "
@@ -686,16 +905,62 @@ class Pml:
             flat = recv.buf.reshape(-1)
             src = env.data.reshape(-1)
             flat[: src.size] = src
-        recv.status = Status(source=env.src_rank, tag=env.tag, nbytes=env.nbytes)
+
+    def _complete_recv(self, recv: PmlRecvRequest, env: Envelope) -> None:
+        recv.lib_complete = True
+        recv.data = env.data
+        if recv.buf is not None:
+            self._copy_into_buf(recv, env)
+        recv.status = Status(env.src_rank, env.tag, env.nbytes)
         recv.done = True
 
     def cancel_sends_to(self, dst_phys: int) -> int:
         """Cancel outstanding rendezvous sends toward a dead process."""
         cancelled = 0
-        for msg_id, (req, _env) in list(self._rdv_sends.items()):
+        for msg_id, (req, env) in list(self._rdv_sends.items()):
             if req.dst_phys == dst_phys and not req.done:
                 req.cancelled = True
                 req.done = True
                 del self._rdv_sends[msg_id]
+                self.release_env(env)
                 cancelled += 1
         return cancelled
+
+    # -------------------------------------------------------- observability
+    def stats(self) -> dict:
+        """PML-level counters: posting totals, arena accounting, matching."""
+        return {
+            "sends_posted": self.sends_posted,
+            "recvs_posted": self.recvs_posted,
+            "env_acquired": self.env_acquired,
+            "env_allocated": self.env_allocated,
+            "env_released": self.env_released,
+            "env_pool_size": len(self._env_pool),
+            **self.matching.stats(),
+        }
+
+    def reap(self) -> None:
+        """End-of-run teardown: release everything still parked here.
+
+        Frames sitting in the inbox (e.g. a mirror duplicate that arrived
+        after every application finished) and envelopes parked in the
+        unexpected queue are well-defined leftovers of a completed run —
+        returning them to the arenas is what lets the harness assert that
+        every acquire was matched by a release.  Rendezvous retention is
+        reaped too, though on a crash-free run it is empty (an incomplete
+        send implies a blocked process, which the deadlock detector
+        reports first).
+        """
+        ep = self.endpoint
+        while ep.inbox:
+            frame = ep.inbox.popleft()
+            payload = frame.payload
+            kind = frame.kind
+            self._release_frame(frame)
+            if kind != "svc" and isinstance(payload, Envelope):
+                self.release_env(payload)
+        for env in self.matching.drain_unexpected():
+            self.release_env(env)
+        for _req, env in self._rdv_sends.values():
+            self.release_env(env)
+        self._rdv_sends.clear()

@@ -250,6 +250,17 @@ class Fabric:
         #: free list of recycled Frame instances (see Frame docstring);
         #: bounded so pathological bursts cannot pin memory forever
         self._frame_pool: List[Frame] = []
+        #: ``False`` bypasses frame recycling (arena-equivalence tests)
+        #: while keeping the acquire/release accounting intact
+        self.pool_frames = True
+        #: free-list accounting: every acquired frame must be released
+        #: (checked at end-of-run by the harness on crash-free jobs)
+        self.frames_acquired = 0
+        self.frames_allocated = 0  # pool misses (fresh constructions)
+        self.frames_released = 0
+        #: crashes ever injected (sticky — recovery may re-admit a proc,
+        #: but dropped in-flight frames make arena balance unprovable)
+        self.crashes = 0
         #: totals for message-complexity ablations (mirror vs parallel)
         self.total_frames = 0
         self.total_bytes = 0
@@ -293,13 +304,33 @@ class Fabric:
         return state
 
     # ------------------------------------------------------------ transfers
+    def acquire_frame(self, src: int, dst: int, size: int, payload: Any, kind: str = "data") -> Frame:
+        """Pool-backed frame for out-of-band senders (the failure detector's
+        svc frames bypass :meth:`send` — they are not wire traffic — but
+        still recycle through the free list so the accounting balances)."""
+        self.frames_acquired += 1
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.src = src
+            frame.dst = dst
+            frame.size = size
+            frame.payload = payload
+            frame.kind = kind
+            frame.arrived_at = -1.0
+            return frame
+        self.frames_allocated += 1
+        return Frame(src, dst, size, payload, kind)
+
     def send(self, src: int, dst: int, size: int, payload: Any, kind: str = "data") -> float:
         """Acquire a (possibly recycled) frame and put it on the wire.
 
-        The hot-path entry every PML send site uses: one pool pop replaces
-        the per-message Frame allocation once the pool has warmed up.
-        Returns the arrival time (see :meth:`inject`).
+        The hot-path entry every PML send site uses (acquire_frame's body
+        is inlined here — one call per frame is measurable): one pool pop
+        replaces the per-message Frame allocation once the pool has warmed
+        up.  Returns the arrival time (see :meth:`inject`).
         """
+        self.frames_acquired += 1
         pool = self._frame_pool
         if pool:
             frame = pool.pop()
@@ -310,6 +341,7 @@ class Fabric:
             frame.kind = kind
             frame.arrived_at = -1.0
         else:
+            self.frames_allocated += 1
             frame = Frame(src, dst, size, payload, kind)
         return self.inject(frame)
 
@@ -317,11 +349,24 @@ class Fabric:
         """Return a fully-consumed frame to the free list (explicit reset:
         drop the payload and fabric references so recycled frames never
         keep envelopes or simulators alive)."""
+        self.frames_released += 1
         frame.payload = None
         frame.fabric = None
         pool = self._frame_pool
-        if len(pool) < 4096:
+        if self.pool_frames and len(pool) < 4096:
             pool.append(frame)
+
+    def stats(self) -> dict:
+        """Free-list accounting (the harness asserts acquired == released
+        at the end of every crash-free run) plus wire totals."""
+        return {
+            "frames_acquired": self.frames_acquired,
+            "frames_allocated": self.frames_allocated,
+            "frames_released": self.frames_released,
+            "frame_pool_size": len(self._frame_pool),
+            "total_frames": self.total_frames,
+            "total_bytes": self.total_bytes,
+        }
 
     def inject(self, frame: Frame) -> float:
         """Put *frame* on the wire now.  Returns the arrival time.
@@ -395,6 +440,7 @@ class Fabric:
         ep = self.endpoints[proc]
         if not ep.alive:
             return
+        self.crashes += 1
         ep.alive = False
         ep.inbox.clear()
         for listener in list(self.on_crash):

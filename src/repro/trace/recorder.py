@@ -5,6 +5,12 @@ A :class:`Recorder` is installed on an :class:`~repro.mpi.api.MpiProcess`
 API facade calls :meth:`Recorder.record_send` for every application-level
 send.  A :class:`TraceSet` aggregates one execution's recorders for
 comparison across executions.
+
+Ownership note: captures record **scalar fields only** (ranks, tags, byte
+counts), never ``Envelope``/``Frame`` objects — those recycle through the
+engine's arenas (see :mod:`repro.mpi.pml`) and would be reused under any
+retained reference.  A future delivery-side tracer must follow the same
+rule, or snapshot via ``Envelope.copy()``.
 """
 
 from __future__ import annotations

@@ -176,8 +176,17 @@ class TestOrdering:
 
         def feed(seq, kind="eager"):
             env = Envelope(
-                kind=kind, ctx=("w",), src_rank=1, tag=0, world_src=1, world_dst=0,
-                seq=seq, nbytes=8, data=None, src_phys=1, dst_phys=0,
+                kind=kind,
+                ctx=("w",),
+                src_rank=1,
+                tag=0,
+                world_src=1,
+                world_dst=0,
+                seq=seq,
+                nbytes=8,
+                data=None,
+                src_phys=1,
+                dst_phys=0,
             )
             gen = proto._filter_incoming(env)
             try:
@@ -205,8 +214,17 @@ class TestOrdering:
 
         def feed(seq):
             env = Envelope(
-                kind="eager", ctx=("w",), src_rank=1, tag=0, world_src=1, world_dst=0,
-                seq=seq, nbytes=8, data=None, src_phys=1, dst_phys=0,
+                kind="eager",
+                ctx=("w",),
+                src_rank=1,
+                tag=0,
+                world_src=1,
+                world_dst=0,
+                seq=seq,
+                nbytes=8,
+                data=None,
+                src_phys=1,
+                dst_phys=0,
             )
             gen = proto._filter_incoming(env)
             try:

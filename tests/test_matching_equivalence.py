@@ -23,8 +23,17 @@ from repro.mpi.status import ANY_SOURCE, ANY_TAG
 
 def make_env(ctx, src, tag, seq):
     return Envelope(
-        kind="eager", ctx=ctx, src_rank=src, tag=tag, world_src=src, world_dst=1,
-        seq=seq, nbytes=8, data=None, src_phys=src, dst_phys=1,
+        kind="eager",
+        ctx=ctx,
+        src_rank=src,
+        tag=tag,
+        world_src=src,
+        world_dst=1,
+        seq=seq,
+        nbytes=8,
+        data=None,
+        src_phys=src,
+        dst_phys=1,
     )
 
 

@@ -9,8 +9,17 @@ from repro.mpi.status import ANY_SOURCE, ANY_TAG
 
 def env(ctx=("w",), src=0, tag=0, seq=0):
     return Envelope(
-        kind="eager", ctx=ctx, src_rank=src, tag=tag, world_src=src, world_dst=1,
-        seq=seq, nbytes=8, data=None, src_phys=src, dst_phys=1,
+        kind="eager",
+        ctx=ctx,
+        src_rank=src,
+        tag=tag,
+        world_src=src,
+        world_dst=1,
+        seq=seq,
+        nbytes=8,
+        data=None,
+        src_phys=src,
+        dst_phys=1,
     )
 
 

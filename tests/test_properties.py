@@ -54,8 +54,17 @@ def test_reorder_filter_releases_in_order_exactly_once(order, dup):
 
     def feed(seq):
         env = Envelope(
-            kind="eager", ctx=("w",), src_rank=1, tag=0, world_src=1, world_dst=0,
-            seq=seq, nbytes=8, data=None, src_phys=1, dst_phys=0,
+            kind="eager",
+            ctx=("w",),
+            src_rank=1,
+            tag=0,
+            world_src=1,
+            world_dst=0,
+            seq=seq,
+            nbytes=8,
+            data=None,
+            src_phys=1,
+            dst_phys=0,
         )
         gen = proto._filter_incoming(env)
         try:

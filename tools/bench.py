@@ -29,7 +29,10 @@ Modes: ``full`` (default) and ``quick`` run the four ablation-shaped
 workloads at 16 ranks; ``paper`` runs a 256-logical-rank SDR collectives
 smoke (512 physical processes under degree-2 replication) — the scale the
 paper's testbed measured — to keep collective/large-world costs on the
-per-PR gate, not just per-release sweeps.
+per-PR gate, not just per-release sweeps; ``scale`` runs the same shape at
+**1024 logical ranks** (2048 physical processes, ~4.5x the paper tier's
+event count) — affordable nightly but not per-PR, so the scheduled job in
+``.github/workflows/ci.yml`` owns it.
 
 Every workload runs **once untimed** before the timed repeats: the first
 execution pays one-off lazy costs (per-channel pricing state, cost-model
@@ -109,6 +112,18 @@ def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
 
 
 def _workloads(mode: str) -> Dict[str, Callable[[], Any]]:
+    if mode == "scale":
+        # Nightly-scale smoke: 1024 logical ranks / 2048 physical
+        # processes under degree-2 SDR — one collective ring iteration is
+        # 11 recursive-doubling rounds across the whole world, ~4.5x the
+        # event count of the paper tier (heap depth grows log-linearly).
+        # Too heavy to gate per-PR; the nightly workflow runs it so scale
+        # regressions surface within a day instead of at release time.
+        return {
+            "sdr-collectives-1024": lambda: _run_job(
+                "sdr", ring_collectives, n_ranks=1024, iters=2, nbytes=4096
+            ),
+        }
     if mode == "paper":
         # Paper-scale smoke: 256 logical ranks (the testbed's scale), 512
         # physical processes under degree-2 SDR.  Collectives dominate —
@@ -198,15 +213,17 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--quick", action="store_true", help="smaller rounds (CI smoke)")
     ap.add_argument("--paper", action="store_true", help="256-rank paper-scale smoke")
+    ap.add_argument("--scale", action="store_true", help="1024-rank nightly-scale smoke")
     ap.add_argument("--check", action="store_true", help="fail on >20%% ev/s regression")
     ap.add_argument("--update", action="store_true", help="rewrite the 'current' snapshot")
     ap.add_argument("--baseline", metavar="LABEL", help="record this run as 'baseline'")
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args(argv)
 
-    if args.quick and args.paper:
-        ap.error("--quick and --paper are mutually exclusive")
-    mode = "paper" if args.paper else ("quick" if args.quick else "full")
+    exclusive = [flag for flag in ("quick", "paper", "scale") if getattr(args, flag)]
+    if len(exclusive) > 1:
+        ap.error("--" + " and --".join(exclusive) + " are mutually exclusive")
+    mode = exclusive[0] if exclusive else "full"
     print(f"engine bench ({mode}, best of {args.repeats}, 1 warmup):")
     results = run_suite(mode, repeats=args.repeats)
 

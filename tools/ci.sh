@@ -55,13 +55,11 @@ if (( RUN_TESTS )); then
     echo "== lint (ruff check + ruff format --check) =="
     if command -v ruff >/dev/null 2>&1; then
         ruff check .
-        # Format drift is advisory until the whole tree has been run
-        # through `ruff format` once (a formatting-only commit that must
-        # be made — and verified — with ruff available); flipping this to
-        # a hard failure then is a one-line change.
+        # Blocking since PR 3: the tree is kept `ruff format`-clean, so
+        # any drift is a one-command fix (`ruff format .` + commit).
         if ! ruff format --check .; then
-            echo "   NOTE: ruff format --check found drift (advisory — run 'ruff format .'"
-            echo "   and commit the result; the check gate above is the blocking one)"
+            echo "   ruff format --check found drift — run 'ruff format .' and commit" >&2
+            exit 1
         fi
     else
         echo "   ruff not installed — lint gate SKIPPED (the CI workflow installs it;"

@@ -28,7 +28,12 @@ contract, per entry point:
   returns False: the filter must hand the envelope to
   ``pml.deliver_to_matching`` (now or later — reorder buffers hold
   ownership while an envelope is parked) or return it via
-  ``pml.release_env`` (duplicate drops).
+  ``pml.release_env`` (duplicate drops).  A filter that *owns* an
+  envelope across a ``yield`` must additionally route it to
+  ``pml.strand_env`` if the generator is torn down mid-suspension (a
+  fail-stop crash of the owning process) — see
+  :meth:`repro.core.replicated.ReplicatedBase._filter_incoming` for the
+  pattern — or the crash-aware arena balance will name the leak.
 * ``pml.deliver_to_matching(env)`` — consumes the envelope: it ends up
   recycled after completion hooks, or parked in the unexpected queue
   (which the PML owns and reaps).

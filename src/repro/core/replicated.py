@@ -90,7 +90,13 @@ class ReplicatedBase(BaseProtocol):
             return False
         # Duplicate: mirror copy, substitute resend, or recovery replay.
         self.duplicates_dropped += 1
-        yield from self._on_duplicate(env)
+        try:
+            yield from self._on_duplicate(env)
+        except BaseException:
+            # Fail-stop crash mid-handling: the filter owns the duplicate
+            # and is being abandoned — account the strand.
+            self.pml.strand_env(env)
+            raise
         self.pml.release_env(env)
         return False
 
@@ -124,6 +130,23 @@ class ReplicatedBase(BaseProtocol):
 
     def on_failure(self, failed: int) -> Generator:
         yield from ()
+
+    # --------------------------------------------------------------- teardown
+    def reap(self) -> None:
+        """End-of-run teardown: release envelopes parked in the reorder
+        buffers.
+
+        On a crash-free run the buffers drain naturally (every gap fills).
+        After a fail-stop, gaps can persist forever — the peer that would
+        have sent the missing sequence number is dead, or this very
+        process crashed with early arrivals parked — and the buffered
+        envelopes are well-defined leftovers the arena-balance check reaps,
+        exactly like the PML's unexpected queue.
+        """
+        for held in self._reorder.values():
+            for env in held.values():
+                self.pml.release_env(env)
+            held.clear()
 
     def stats(self) -> dict:
         base = super().stats()

@@ -89,6 +89,7 @@ class Job:
         jitter: Optional[Callable[[], float]] = None,
         recorder_factory: Optional[Callable[[int, int], Any]] = None,
         pooling: bool = True,
+        bucketed: bool = True,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
         self.n_ranks = n_ranks
@@ -101,7 +102,10 @@ class Job:
         else:
             self.placement = round_robin_placement(self.cluster, n_ranks)
         self.placement.validate()
-        self.sim = Simulator()
+        #: ``bucketed=False`` keeps every queue insertion on the kernel heap
+        #: (the seed-shaped reference mode) — the two-level-queue equivalence
+        #: suite proves the bucketed engine observationally identical to it.
+        self.sim = Simulator(bucketed=bucketed)
         self.rng = RngRegistry(seed)
         #: ``pooling=False`` bypasses the Frame and Envelope arenas (every
         #: acquire constructs fresh) while keeping the ownership accounting
@@ -125,6 +129,11 @@ class Job:
         self._app_kwargs: dict = {}
         self._app_all_done = False
         self._drain_waiters: List[Any] = []
+        #: (pml, protocol) stacks replaced by a respawn: their arena
+        #: counters and parked envelopes still take part in the end-of-run
+        #: balance, so they are retired here instead of vanishing when
+        #: ``spawn_replica`` overwrites the per-proc dicts.
+        self._retired_stacks: List[Any] = []
         # Partial replication: replicas of unreplicated ranks simply do not
         # exist.  Mark their slots dead *before* protocols initialize, then
         # replay Algorithm 1's failure handling synchronously so replica-0
@@ -151,6 +160,9 @@ class Job:
 
     # ------------------------------------------------------------- plumbing
     def _build_stack(self, proc: int) -> None:
+        old_pml = self.pmls.get(proc)
+        if old_pml is not None:
+            self._retired_stacks.append((old_pml, self.protocols[proc]))
         pml = Pml(self.sim, self.fabric, proc)
         pml.pool_envelopes = self.pooling
         if self.cfg.protocol == "native":
@@ -272,7 +284,7 @@ class Job:
                 raise DeadlockError(blocked)
         if lost and not allow_lost_ranks:
             raise MpiError(f"application lost ranks {lost}: every replica failed")
-        if until is None and self.fabric.crashes == 0:
+        if until is None:
             self._assert_arenas_balanced()
         finished = [t for p, t in self.finish_times.items()]
         return JobResult(
@@ -291,31 +303,51 @@ class Job:
         )
 
     def _assert_arenas_balanced(self) -> None:
-        """Leak check: every Frame/Envelope acquire must have a release.
+        """Leak check: every Frame/Envelope acquire has a release or an
+        accounted strand.
 
-        Runs in the teardown of every crash-free, run-to-completion job
-        (crashes drop in-flight frames and abandon generators mid-charge,
-        which legitimately strands objects outside the arenas).  Leftovers
-        with a well-defined end-of-run owner — inbox frames that arrived
-        after the last application statement, unexpected-queue envelopes
-        the application never received — are reaped into the arenas first;
-        anything still unbalanced after that is an ownership bug in the
-        delivery path.
+        Runs in the teardown of every run-to-completion job — **crashy
+        runs included**: the fail-stop drop sites (fabric injects by dead
+        sources, arrivals at dead endpoints, dead-rank inbox clears) and
+        the receive-pipeline ownership guards (generators abandoned
+        mid-charge or mid-hook by a crash) count what they strand, so
+        ``acquired == released + stranded`` stays provable through
+        failover and recovery — exactly the scenarios the replication
+        protocols exist for.  Leftovers with a well-defined end-of-run
+        owner — inbox frames that arrived after the last application
+        statement, unexpected-queue envelopes the application never
+        received, reorder-buffer early arrivals orphaned by a crash — are
+        reaped into the arenas first; anything still unbalanced after
+        that is an ownership bug in the delivery path.
         """
-        for pml in self.pmls.values():
+        # Survivors blocked forever (lost-rank scenarios tolerated via
+        # allow_lost_ranks) still hold suspended generators: closing them
+        # routes any envelopes they were borrowing to the strand counters.
+        for process in self.processes.values():
+            process.abandon()
+        stacks = [(self.pmls[p], self.protocols[p]) for p in self.pmls]
+        stacks.extend(self._retired_stacks)
+        for pml, proto in stacks:
+            reap = getattr(proto, "reap", None)
+            if reap is not None:
+                reap()
             pml.reap()
         fab = self.fabric
-        if fab.frames_acquired != fab.frames_released:
+        frames_closed = fab.frames_released + fab.frames_stranded
+        if fab.frames_acquired != frames_closed:
             raise AssertionError(
                 f"frame arena leak: {fab.frames_acquired} acquired vs "
-                f"{fab.frames_released} released "
-                f"({fab.frames_acquired - fab.frames_released} stranded)"
+                f"{fab.frames_released} released + "
+                f"{fab.frames_stranded} stranded "
+                f"({fab.frames_acquired - frames_closed} unaccounted)"
             )
-        env_acquired = sum(p.env_acquired for p in self.pmls.values())
-        env_released = sum(p.env_released for p in self.pmls.values())
-        if env_acquired != env_released:
+        pmls = [pml for pml, _proto in stacks]
+        env_acquired = sum(p.env_acquired for p in pmls)
+        env_released = sum(p.env_released for p in pmls)
+        env_stranded = sum(p.env_stranded for p in pmls) + fab.envs_stranded
+        if env_acquired != env_released + env_stranded:
             raise AssertionError(
                 f"envelope arena leak: {env_acquired} acquired vs "
-                f"{env_released} released "
-                f"({env_acquired - env_released} stranded)"
+                f"{env_released} released + {env_stranded} stranded "
+                f"({env_acquired - env_released - env_stranded} unaccounted)"
             )

@@ -181,11 +181,78 @@ class MpiProcess:
         ``irecvComplete`` fires, acks flow — the behaviour §3.3's
         deadlock-avoidance argument requires.
 
+        Specialized per-handle when every handle is *stock* (the NAS
+        ``waitall`` towers and every collective wait): the underlying PML
+        requests are collected once up front and each one is **dropped
+        from the pending list the moment it completes** — later progress
+        iterations re-scan only what is still outstanding, instead of
+        chasing ``advance()``/``done`` through every handle every frame.
+        Halo exchanges post 2k handles and complete them one frame at a
+        time, so the generic loop's re-scan was quadratic in the fan-out.
+        Stockness is decided exactly as the blocking fast paths do: a
+        plain :class:`RecvHandle`, or a handle with the stock
+        ``SendHandle.done`` predicate and no per-iteration ``advance()``
+        work.  Anything else (e.g. a leader-protocol deferred receive)
+        falls back to :meth:`wait_handles_generic` — the executable
+        specification, proven equivalent by
+        ``tests/test_wait_equivalence.py``.
+        """
+        rpend: List[Any] = []  # PML receive requests still incomplete
+        spend: List[Any] = []  # send handles still incomplete
+        for h in handles:
+            cls = type(h)
+            if cls is RecvHandle:
+                req = h.pml_req
+                if not req.done:
+                    rpend.append(req)
+            elif cls.done is SendHandle.done and cls.needs_advance is False:
+                # Kept whole (not flattened into its pml_reqs): a failover
+                # may append a resend request mid-wait, and the ack set
+                # shrinks as acks land — re-reading both through the handle
+                # each iteration matches the generic loop exactly.
+                spend.append(h)
+            else:
+                return (yield from self.wait_handles_generic(handles))
+        pml = self.pml
+        ep = pml.endpoint
+        while True:
+            if rpend:
+                # Compact in place: completed requests drop out and are
+                # never polled again.
+                n = 0
+                for r in rpend:
+                    if not r.done:
+                        rpend[n] = r
+                        n += 1
+                del rpend[n:]
+            if spend:
+                n = 0
+                for h in spend:
+                    if h.needs_ack:
+                        done = False
+                    else:
+                        reqs = h.pml_reqs
+                        done = reqs[0].done if len(reqs) == 1 else all(r.done for r in reqs)
+                    if not done:
+                        spend[n] = h
+                        n += 1
+                del spend[n:]
+            if not rpend and not spend:
+                return [h.status for h in handles]
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
+
+    def wait_handles_generic(self, handles: Sequence[Any]) -> Generator[Any, Any, List[Optional[Status]]]:
+        """Generic MPI_Waitall loop: drives ``advance()`` on every handle
+        each progress iteration.  The executable specification of
+        :meth:`wait_handles` — and the path non-stock handles take.
+
         Handle ``advance()`` may return ``None`` (no work, the common case)
         or a generator to drive; skipping the no-work generators keeps this
-        loop — entered once per progress step of every blocking MPI call —
-        allocation-free.  The progress step itself (pop one inbound frame,
-        or block on the endpoint) is inlined from
+        loop allocation-free.  The progress step itself (pop one inbound
+        frame, or block on the endpoint) is inlined from
         :meth:`~repro.mpi.pml.Pml.progress_step`: frames are still handled
         only here, preserving the no-asynchronous-progress contract (§3.3).
         """
@@ -225,9 +292,67 @@ class MpiProcess:
     def waitall(self, handles: Sequence[Any]) -> Generator:
         return (yield from self.wait_handles(handles))
 
+    def _stock_polls(self, handles: Sequence[Any]) -> Optional[List[Tuple[bool, Any]]]:
+        """Per-handle poll plan for all-stock handle sets, or None.
+
+        Each entry is ``(is_send, obj)``: receives poll their PML request's
+        ``done`` slot directly (no descriptor dispatch), sends inline the
+        stock ``SendHandle.done`` predicate.  A single non-stock handle
+        (e.g. a leader-protocol deferred receive, which does real work in
+        ``advance()``) disqualifies the whole set — the callers then take
+        their ``*_generic`` loop, the executable specification.
+        """
+        polls: List[Tuple[bool, Any]] = []
+        for h in handles:
+            cls = type(h)
+            if cls is RecvHandle:
+                polls.append((False, h.pml_req))
+            elif cls.done is SendHandle.done and cls.needs_advance is False:
+                polls.append((True, h))
+            else:
+                return None
+        return polls
+
     def waitsome(self, handles: Sequence[Any]) -> Generator[Any, Any, List[Tuple[int, Optional[Status]]]]:
         """Progress until at least one handle completes; returns every
-        completed (index, status) pair (MPI_Waitsome)."""
+        completed (index, status) pair (MPI_Waitsome).
+
+        Specialized per-handle for all-stock handle sets: the underlying
+        request objects are resolved once, each scan reads ``done`` slots
+        instead of calling ``advance()`` plus two property descriptors per
+        handle, and the progress step is inlined.  Non-stock sets fall
+        back to :meth:`waitsome_generic` (proven equivalent by
+        ``tests/test_wait_equivalence.py``).
+        """
+        if not handles:
+            raise MpiError("waitsome requires at least one handle")
+        polls = self._stock_polls(handles)
+        if polls is None:
+            return (yield from self.waitsome_generic(handles))
+        pml = self.pml
+        ep = pml.endpoint
+        while True:
+            done: List[Tuple[int, Optional[Status]]] = []
+            for i, (is_send, obj) in enumerate(polls):
+                if is_send:
+                    if obj.needs_ack:
+                        continue
+                    reqs = obj.pml_reqs
+                    if reqs[0].done if len(reqs) == 1 else all(r.done for r in reqs):
+                        done.append((i, obj.status))
+                elif obj.done:
+                    done.append((i, obj.status))
+            if done:
+                return done
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
+
+    def waitsome_generic(
+        self, handles: Sequence[Any]
+    ) -> Generator[Any, Any, List[Tuple[int, Optional[Status]]]]:
+        """Generic MPI_Waitsome loop (executable spec of :meth:`waitsome`)."""
         if not handles:
             raise MpiError("waitsome requires at least one handle")
         while True:
@@ -245,8 +370,34 @@ class MpiProcess:
 
         The winning index depends on message timing — a non-deterministic
         outcome that send-deterministic applications may observe internally
-        without externally visible divergence (§2.2).
+        without externally visible divergence (§2.2).  Index-order priority
+        matches :meth:`waitany_generic` exactly: the lowest completed index
+        wins each scan.  Specialized per-handle like :meth:`waitsome`.
         """
+        if not handles:
+            raise MpiError("waitany requires at least one handle")
+        polls = self._stock_polls(handles)
+        if polls is None:
+            return (yield from self.waitany_generic(handles))
+        pml = self.pml
+        ep = pml.endpoint
+        while True:
+            for i, (is_send, obj) in enumerate(polls):
+                if is_send:
+                    if obj.needs_ack:
+                        continue
+                    reqs = obj.pml_reqs
+                    if reqs[0].done if len(reqs) == 1 else all(r.done for r in reqs):
+                        return i, obj.status
+                elif obj.done:
+                    return i, obj.status
+            if ep.inbox:
+                yield from pml.handle_frame(ep.inbox.popleft())
+            else:
+                yield ep  # block on the endpoint (allocation-free waiter)
+
+    def waitany_generic(self, handles: Sequence[Any]) -> Generator[Any, Any, Tuple[int, Optional[Status]]]:
+        """Generic MPI_Waitany loop (executable spec of :meth:`waitany`)."""
         if not handles:
             raise MpiError("waitany requires at least one handle")
         while True:

@@ -53,7 +53,12 @@ copy-on-write snapshot machinery of :mod:`repro.mpi.datatypes`, and
 the shell is recycled.  ``tests/test_pooling_equivalence.py`` proves the
 arena observationally equivalent to plain allocation (``pool_envelopes``
 bypass flag), and the harness asserts the arenas balance — every acquire
-matched by a release — at the end of every crash-free run.
+matched by a release or an accounted strand — at the end of every run,
+crashes included.  Fail-stop teardown is what makes crashy runs provable:
+every receive-pipeline span that owns an envelope across a yield carries a
+guard routing the abandoned reference to :meth:`Pml.strand_env`, and the
+fabric counts the frames (and their envelopes) dropped at its own fail-stop
+sites (see :mod:`repro.network.fabric`).
 """
 
 from __future__ import annotations
@@ -314,11 +319,17 @@ class Pml:
         #: while keeping the acquire/release accounting intact
         self._env_pool: List[Envelope] = []
         self.pool_envelopes = True
-        #: arena accounting: every acquire must be matched by a release
-        #: (checked at end-of-run by the harness on crash-free jobs)
+        #: arena accounting: every acquire must be matched by a release or
+        #: an accounted strand (checked at end-of-run by the harness —
+        #: crashy runs included, via the strand counters)
         self.env_acquired = 0
         self.env_allocated = 0  # pool misses (fresh constructions)
         self.env_released = 0
+        #: envelopes abandoned mid-pipeline by a fail-stop crash: a process
+        #: torn down while suspended inside frame handling (a CPU charge, a
+        #: hook, a ctrl handler) strands the envelope the pipeline owned —
+        #: the receive-path guards route it here instead of losing it
+        self.env_stranded = 0
         # Per-peer cost caches (models are immutable for a job's lifetime):
         # dst -> (send_overhead, eager_limit), src -> recv_overhead.  One
         # dict probe per frame instead of fabric/placement lookups.
@@ -430,6 +441,24 @@ class Pml:
         if self.pool_envelopes and len(pool) < 4096:
             pool.append(env)
 
+    def strand_env(self, env: Envelope) -> None:
+        """Account one abandoned ownership reference (fail-stop teardown).
+
+        The refcount discipline mirrors :meth:`release_env`: a strand drops
+        the pipeline's reference, and the shell counts as stranded only
+        when no retainer still holds it (a retained envelope will still be
+        released — or stranded — by its holder).  Stranded shells are not
+        pooled: behaviour is identical to the pre-accounting engine, only
+        the counter moves.
+        """
+        refs = env._refs
+        if refs > 1:
+            env._refs = refs - 1
+            return
+        self.env_stranded += 1
+        env.ctx = None
+        env.data = None
+
     def inject(self, env: Envelope, wire_bytes: int) -> Generator:
         """Charge sender overhead and put one frame on the wire.
 
@@ -444,7 +473,13 @@ class Pml:
         if cost is None:
             cost = self._send_cost_to(dst)
         if cost[0] > 0.0:
-            yield cost[0]
+            try:
+                yield cost[0]
+            except BaseException:
+                # Fail-stop crash mid-charge: the generator is being torn
+                # down with the un-injected envelope in hand — account it.
+                self.strand_env(env)
+                raise
         self.fabric.send(self.proc, dst, wire_bytes, env, env.kind)
 
     # ----------------------------------------------------------------- send
@@ -700,7 +735,13 @@ class Pml:
                 overhead = fabric.model_for(src, self.proc).recv_overhead
                 self._recv_cost[src] = overhead
             if overhead > 0.0:
-                yield overhead
+                try:
+                    yield overhead
+                except BaseException:
+                    # Crash mid-charge: this PML owns the envelope and the
+                    # pipeline is being abandoned — account the strand.
+                    self.strand_env(env)
+                    raise
         if env.kind == "ctrl":
             handler = self.ctrl_handlers.get(env.ctrl_key)
             if handler is None:
@@ -713,7 +754,11 @@ class Pml:
             # the majority frame kind under replication).
             gen = handler(env)
             if gen is not None:
-                yield from gen
+                try:
+                    yield from gen
+                except BaseException:
+                    self.strand_env(env)  # handler abandoned mid-borrow
+                    raise
             if env._refs > 1:
                 env._refs -= 1
             else:
@@ -759,15 +804,19 @@ class Pml:
             # arrival); rendezvous and error paths take the method.
             if env.kind == "eager":
                 recv.matched = env
-                for hook in self.on_match:
-                    gen = hook(recv, env)
-                    if gen is not None:
-                        yield from gen
-                recv.lib_complete = True
-                for hook in self.on_recv_complete:
-                    gen = hook(env, recv)
-                    if gen is not None:
-                        yield from gen
+                try:
+                    for hook in self.on_match:
+                        gen = hook(recv, env)
+                        if gen is not None:
+                            yield from gen
+                    recv.lib_complete = True
+                    for hook in self.on_recv_complete:
+                        gen = hook(env, recv)
+                        if gen is not None:
+                            yield from gen
+                except BaseException:
+                    self.strand_env(env)  # pipeline abandoned mid-hook
+                    raise
                 # _complete_recv + release_env inlined (once per matched
                 # eager; the bufferless receive is the common case).
                 recv.data = env.data
@@ -801,18 +850,22 @@ class Pml:
 
     def _matched(self, recv: PmlRecvRequest, env: Envelope, from_unexpected: bool) -> Generator:
         recv.matched = env
-        for hook in self.on_match:
-            gen = hook(recv, env)
-            if gen is not None:
-                yield from gen
         if env.kind == "eager":
-            if not from_unexpected:
-                # _fire_recv_complete inlined: once per matched eager.
-                recv.lib_complete = True
-                for hook in self.on_recv_complete:
-                    gen = hook(env, recv)
+            try:
+                for hook in self.on_match:
+                    gen = hook(recv, env)
                     if gen is not None:
                         yield from gen
+                if not from_unexpected:
+                    # _fire_recv_complete inlined: once per matched eager.
+                    recv.lib_complete = True
+                    for hook in self.on_recv_complete:
+                        gen = hook(env, recv)
+                        if gen is not None:
+                            yield from gen
+            except BaseException:
+                self.strand_env(env)  # pipeline abandoned mid-hook
+                raise
             # _complete_recv + release_env inlined (the unexpected-queue
             # match is the hot path of every ANY_SOURCE-heavy workload).
             recv.lib_complete = True
@@ -832,9 +885,18 @@ class Pml:
                 if self.pool_envelopes and len(pool) < 4096:
                     pool.append(env)
         elif env.kind == "rts":
+            try:
+                for hook in self.on_match:
+                    gen = hook(recv, env)
+                    if gen is not None:
+                        yield from gen
+            except BaseException:
+                self.strand_env(env)  # pipeline abandoned mid-hook
+                raise
             # Clear the sender to transfer the payload.  The RTS is fully
             # consumed by the field reads below; recycle it before the CTS
-            # injection can yield (crash-mid-charge strands nothing).
+            # injection can yield (a crash mid-charge then strands only
+            # the un-injected CTS, which inject() accounts).
             ctx = env.ctx
             seq = env.seq
             src_phys = env.src_phys
@@ -882,7 +944,11 @@ class Pml:
         if recv is None:
             self.release_env(env)
             return  # receive was cancelled after CTS
-        yield from self._fire_recv_complete(env, recv)
+        try:
+            yield from self._fire_recv_complete(env, recv)
+        except BaseException:
+            self.strand_env(env)  # pipeline abandoned mid-hook
+            raise
         self._complete_recv(recv, env)
         self.release_env(env)
 
@@ -935,6 +1001,7 @@ class Pml:
             "env_acquired": self.env_acquired,
             "env_allocated": self.env_allocated,
             "env_released": self.env_released,
+            "env_stranded": self.env_stranded,
             "env_pool_size": len(self._env_pool),
             **self.matching.stats(),
         }

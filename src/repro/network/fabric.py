@@ -12,6 +12,16 @@ frames already in flight are still delivered to live destinations (protocol
 layers dedup via per-channel sequence numbers).  Frames addressed to a
 crashed process are dropped on arrival.
 
+Every fail-stop drop site **counts what it strands**: the frame (and the
+envelope riding in it) is accounted in ``frames_stranded``/``envs_stranded``
+instead of silently vanishing, so the harness can assert
+``acquired == released + stranded`` for both arenas even on crashy runs —
+the zero-leak proof covers the failover/recovery scenarios the replication
+protocols exist for, not just the happy path.  The sites are
+:meth:`Fabric.crash`/:meth:`Fabric.revive` (dead-rank inbox clears),
+:meth:`Endpoint.deliver` (arrival at a dead endpoint) and
+:meth:`Fabric.inject` (send attempt by a dead source).
+
 Hot-path notes
 --------------
 :meth:`Fabric.inject` runs once per frame and is kept allocation-lean:
@@ -163,18 +173,28 @@ class Endpoint:
 
     def deliver(self, frame: Frame) -> None:
         if not self.alive:
+            # Fail-stop drop site: the frame (and any envelope it carries)
+            # is stranded, never released — count it so the arena-balance
+            # proof extends to crashy runs.
+            fabric = frame.fabric
+            if fabric is not None:
+                fabric.strand_frame(frame)
             return
         self.inbox.append(frame)
         self.frames_received += 1
         self.bytes_received += frame.size
         pwaiter = self._pwaiter
         if pwaiter is not None:
-            # Wake the parked process exactly as a waiter event would:
-            # one scheduled heap entry at the current time.
+            # Wake the parked process exactly as a waiter event would: one
+            # queue entry at the current time (bucket append, or the
+            # seed-shaped heap push in heap-only mode).
             self._pwaiter = None
             sim = self.sim
-            sim._seq += 1
-            heappush(sim._queue, (sim._now, sim._seq, pwaiter))
+            if sim._bucketed:
+                sim._bucket.append(pwaiter)
+            else:
+                sim._seq += 1
+                heappush(sim._queue, (sim._now, sim._seq, pwaiter))
             return
         waiter = self._waiter
         if waiter is not None and not waiter.triggered:
@@ -258,9 +278,15 @@ class Fabric:
         self.frames_acquired = 0
         self.frames_allocated = 0  # pool misses (fresh constructions)
         self.frames_released = 0
-        #: crashes ever injected (sticky — recovery may re-admit a proc,
-        #: but dropped in-flight frames make arena balance unprovable)
+        #: crashes ever injected (sticky; observability — since the strand
+        #: accounting below, crashy runs keep the arena-balance proof)
         self.crashes = 0
+        #: fail-stop strand accounting: frames dropped at the drop sites
+        #: (dead-rank inbox clears, arrivals at dead endpoints, sends by
+        #: dead sources) and the envelopes those frames carried.  The
+        #: harness asserts acquired == released + stranded on every run.
+        self.frames_stranded = 0
+        self.envs_stranded = 0
         #: totals for message-complexity ablations (mirror vs parallel)
         self.total_frames = 0
         self.total_bytes = 0
@@ -318,9 +344,14 @@ class Fabric:
             frame.payload = payload
             frame.kind = kind
             frame.arrived_at = -1.0
-            return frame
-        self.frames_allocated += 1
-        return Frame(src, dst, size, payload, kind)
+        else:
+            self.frames_allocated += 1
+            frame = Frame(src, dst, size, payload, kind)
+        # Stamped here as well as in inject(): out-of-band frames are
+        # delivered straight to an endpoint, and the dead-endpoint drop
+        # site needs the owning fabric to account the strand.
+        frame.fabric = self
+        return frame
 
     def send(self, src: int, dst: int, size: int, payload: Any, kind: str = "data") -> float:
         """Acquire a (possibly recycled) frame and put it on the wire.
@@ -345,6 +376,21 @@ class Fabric:
             frame = Frame(src, dst, size, payload, kind)
         return self.inject(frame)
 
+    def strand_frame(self, frame: Frame) -> None:
+        """Account a frame dropped at a fail-stop site (and the envelope it
+        carries, if any).  Stranded objects are *not* pooled — behaviour is
+        byte-identical to the silent drop, only the counters move — and the
+        references are cleared so the dead frame pins nothing.
+        """
+        self.frames_stranded += 1
+        payload = frame.payload
+        if payload is not None and frame.kind != "svc":
+            # Application/protocol frames carry exactly one arena-owned
+            # envelope; svc frames carry a plain tuple.
+            self.envs_stranded += 1
+        frame.payload = None
+        frame.fabric = None
+
     def release_frame(self, frame: Frame) -> None:
         """Return a fully-consumed frame to the free list (explicit reset:
         drop the payload and fabric references so recycled frames never
@@ -363,6 +409,8 @@ class Fabric:
             "frames_acquired": self.frames_acquired,
             "frames_allocated": self.frames_allocated,
             "frames_released": self.frames_released,
+            "frames_stranded": self.frames_stranded,
+            "envs_stranded": self.envs_stranded,
             "frame_pool_size": len(self._frame_pool),
             "total_frames": self.total_frames,
             "total_bytes": self.total_bytes,
@@ -378,8 +426,10 @@ class Fabric:
         dst = frame.dst
         src_ep = self.endpoints[src]
         if not src_ep.alive:
-            # A crashed process cannot send; drop silently (the process is
-            # being torn down and no correctness property may depend on it).
+            # A crashed process cannot send; drop (the process is being
+            # torn down and no correctness property may depend on it) —
+            # but the frame was acquired, so account the strand.
+            self.strand_frame(frame)
             return self.sim._now
         key = (src, dst)
         state = self._chan.get(key)
@@ -430,11 +480,22 @@ class Fabric:
         by_kind[kind] = by_kind.get(kind, 0) + 1
         frame.fabric = self
         sim = self.sim
-        sim._seq += 1
-        heappush(sim._queue, (arrival, sim._seq, frame))
+        if arrival > now or not sim._bucketed:
+            sim._seq += 1
+            heappush(sim._queue, (arrival, sim._seq, frame))
+        else:
+            # Zero-cost model: the frame arrives at the current time.
+            sim._bucket.append(frame)
         return arrival
 
     # --------------------------------------------------------------- faults
+    def _strand_inbox(self, ep: Endpoint) -> None:
+        """Strand-account and drop every frame queued at *ep* (dead-rank
+        inbox clear — the frames will never be handled)."""
+        inbox = ep.inbox
+        while inbox:
+            self.strand_frame(inbox.popleft())
+
     def crash(self, proc: int) -> None:
         """Fail-stop endpoint *proc* and notify crash listeners."""
         ep = self.endpoints[proc]
@@ -442,7 +503,7 @@ class Fabric:
             return
         self.crashes += 1
         ep.alive = False
-        ep.inbox.clear()
+        self._strand_inbox(ep)
         for listener in list(self.on_crash):
             listener(proc)
 
@@ -450,4 +511,4 @@ class Fabric:
         """Re-attach a respawned process (recovery, §3.4)."""
         ep = self.endpoints[proc]
         ep.alive = True
-        ep.inbox.clear()
+        self._strand_inbox(ep)

@@ -1,4 +1,4 @@
-"""The event loop: virtual clock plus a deterministic priority queue.
+"""The event loop: virtual clock plus a deterministic two-level queue.
 
 Determinism contract
 --------------------
@@ -8,6 +8,36 @@ consults wall-clock time or unseeded randomness, so a simulation is a pure
 function of its inputs.  This property is load-bearing: the send-determinism
 checker (:mod:`repro.trace.determinism`) relies on being able to perturb
 *only* the knobs it intends to perturb.
+
+Two-level queue
+---------------
+The queue has two levels keyed on the current virtual time:
+
+* the **near-horizon bucket** — a plain FIFO (`deque`) holding events
+  scheduled *at* the current timestamp.  Now-time insertions are the
+  majority of queue traffic in MPI simulations (zero-delay completions,
+  endpoint wake-ups, same-time follow-ups of a frame arrival), and a FIFO
+  append/popleft replaces an O(log n) heap push/pop pair whose depth grows
+  with rank count;
+* the **heap** — `heapq` of ``(time, seq, event)`` for strictly-future
+  timestamps only.
+
+FIFO ``(time, seq)`` order is provably unchanged: every entry the heap
+holds for time *T* was pushed while ``now < T`` and therefore carries a
+lower sequence number than anything appended to the bucket once the clock
+reads *T* — so draining heap-at-now entries first, then the bucket (which
+preserves insertion order by construction), reproduces exactly the order
+the heap-only queue would have produced.  ``Simulator(bucketed=False)``
+keeps every insertion on the heap — the executable specification the
+equivalence suite (``tests/test_queue_equivalence.py``) compares against.
+
+Every now-time insertion site routes through this decision: the kernel's
+:meth:`Simulator.schedule`/:meth:`Simulator.schedule_at`, and the inlined
+hot paths in :mod:`repro.sim.sync` (zero-delay ``Event.succeed``,
+``Timeout``), :mod:`repro.sim.process` (zero CPU charges) and
+:mod:`repro.network.fabric` (endpoint wake-ups, zero-latency arrivals).
+Bucket entries carry no sequence number — the FIFO *is* the order — so
+the dominant insertion also skips the counter increment and tuple build.
 
 Hot-path notes
 --------------
@@ -27,6 +57,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 __all__ = ["Simulator", "SimulationError", "StopSimulation"]
@@ -53,22 +84,34 @@ class Simulator:
         Optional callable invoked as ``trace_hook(time, event)`` just before
         each event fires; used by :mod:`repro.trace` for observability.
         Running without a hook takes a faster specialized dispatch loop.
+    bucketed:
+        ``True`` (default) enables the near-horizon bucket for now-time
+        insertions; ``False`` keeps every insertion on the heap — the
+        seed-shaped reference mode the equivalence suite runs against.
     """
 
     __slots__ = (
         "_now",
         "_seq",
         "_queue",
+        "_bucket",
+        "_bucketed",
         "_running",
         "_stopped",
         "trace_hook",
         "events_dispatched",
     )
 
-    def __init__(self, trace_hook: Optional[Callable[[float, Any], None]] = None) -> None:
+    def __init__(
+        self,
+        trace_hook: Optional[Callable[[float, Any], None]] = None,
+        bucketed: bool = True,
+    ) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._queue: list = []  # heap of (time, seq, event)
+        self._queue: list = []  # heap of (time, seq, event) — future times
+        self._bucket: deque = deque()  # FIFO of events at the current time
+        self._bucketed = bucketed
         self._running = False
         self._stopped: Optional[StopSimulation] = None
         self.trace_hook = trace_hook
@@ -90,8 +133,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} s in the past")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        if delay or not self._bucketed:
+            self._seq += 1
+            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        else:
+            self._bucket.append(event)
         return event
 
     def schedule_at(self, event: "EventLike", when: float) -> "EventLike":
@@ -100,8 +146,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={when} (now t={self._now})"
             )
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
+        if when > self._now or not self._bucketed:
+            self._seq += 1
+            heapq.heappush(self._queue, (when, self._seq, event))
+        else:
+            self._bucket.append(event)
         return event
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
@@ -145,92 +194,131 @@ class Simulator:
     def _run_fast(self, until: Optional[float]) -> None:
         """Specialized dispatch loop: no trace hook, no defensive getattr.
 
-        Same-timestamp events are dispatched as one *batch*: the inner loop
-        drains every heap entry sharing the current virtual time without
-        re-entering the dispatch preamble (clock store, deadline check,
-        counter write-back).  Virtual time in MPI simulations is extremely
-        clumpy — a frame arrival wakes a process whose CPU charges and
-        follow-up injections all land at nearby-but-identical timestamps —
-        so the common case dispatches several events per preamble.  FIFO
-        order is untouched: entries pop in ``(time, seq)`` order either
-        way, and anything an event schedules *at* the current time carries
-        a higher sequence number, so the inner drain picks it up in exactly
-        the order the unbatched loop would have.  ``events_dispatched`` is
+        Events sharing the current virtual time are dispatched as one
+        *batch*: heap entries at the current time first (they were pushed
+        before the clock reached it and carry lower sequence numbers),
+        then the near-horizon bucket in FIFO order — anything a batch
+        member schedules *at* the current time lands at the bucket's tail,
+        which is exactly where the heap-only queue's higher sequence
+        number would have placed it.  One clock store and deadline check
+        per timestamp, not per event.  ``events_dispatched`` is
         accumulated in a local and written back on exit (including the
-        StopSimulation path), never observable mid-run by events themselves
-        — nothing in-tree reads it before :meth:`run` returns.
+        StopSimulation path), never observable mid-run by events
+        themselves — nothing in-tree reads it before :meth:`run` returns.
         """
         queue = self._queue
+        bucket = self._bucket
         heappop = heapq.heappop
+        popleft = bucket.popleft
         dispatched = self.events_dispatched
         try:
             if until is None:
-                # Unbounded drain (the overwhelmingly common call): pop
-                # directly, no deadline comparison per event.
-                while queue:
-                    entry = heappop(queue)
-                    when = entry[0]
-                    self._now = when
-                    event = entry[2]
-                    while True:
+                # Unbounded drain (the overwhelmingly common call): no
+                # deadline comparison per timestamp.  Each phase is its
+                # own tight loop: heap entries at the current time pay one
+                # top-of-heap compare per event (exactly the old batching
+                # loop), bucket entries pay one truthiness check — firing
+                # a bucket event can append to the bucket but never push
+                # a same-time heap entry (now-time insertions are routed),
+                # which is what makes the phase split safe.
+                while True:
+                    now = self._now
+                    while queue and queue[0][0] == now:
+                        event = heappop(queue)[2]
                         if not event.cancelled:
                             dispatched += 1
                             event.fire()
-                        if not queue or queue[0][0] != when:
-                            break
+                    while bucket:
+                        event = popleft()
+                        if not event.cancelled:
+                            dispatched += 1
+                            event.fire()
+                    if queue:
+                        when = queue[0][0]
+                        if when == now:
+                            # Unrouted same-time push (direct heappush by
+                            # embedding code): defensive re-drain.
+                            continue
+                        self._now = when
+                    else:
+                        return
+            while True:
+                now = self._now
+                if now <= until:
+                    while queue and queue[0][0] == now:
                         event = heappop(queue)[2]
-                return
-            while queue:
-                when = queue[0][0]
-                if when > until:
+                        if not event.cancelled:
+                            dispatched += 1
+                            event.fire()
+                    while bucket:
+                        event = popleft()
+                        if not event.cancelled:
+                            dispatched += 1
+                            event.fire()
+                if not queue or queue[0][0] > until:
                     self._now = until
                     return
-                entry = heappop(queue)
-                self._now = when
-                event = entry[2]
-                while True:
-                    if not event.cancelled:
-                        dispatched += 1
-                        event.fire()
-                    if not queue or queue[0][0] != when:
-                        break
-                    event = heappop(queue)[2]
-            self._now = until
+                if queue[0][0] != now:
+                    self._now = queue[0][0]
         except StopSimulation as stop:
             self._stopped = stop
         finally:
             self.events_dispatched = dispatched
 
     def _run_traced(self, until: Optional[float]) -> None:
-        """Observability loop: invokes ``trace_hook`` before every event."""
+        """Observability loop: invokes ``trace_hook`` before every event.
+
+        Same two-level drain order as :meth:`_run_fast`, one event at a
+        time so the hook observes each ``(time, event)`` pair.
+        """
         queue = self._queue
-        while queue:
-            when, _seq, event = queue[0]
+        bucket = self._bucket
+        while True:
+            now = self._now
+            if until is None or now <= until:
+                while True:
+                    if queue and queue[0][0] == now:
+                        event = heapq.heappop(queue)[2]
+                    elif bucket:
+                        event = bucket.popleft()
+                    else:
+                        break
+                    if getattr(event, "cancelled", False):
+                        continue
+                    self.trace_hook(self._now, event)
+                    self.events_dispatched += 1
+                    try:
+                        event.fire()
+                    except StopSimulation as stop:
+                        self._stopped = stop
+                        return
+            if not queue:
+                break
+            when = queue[0][0]
             if until is not None and when > until:
                 self._now = until
                 return
-            heapq.heappop(queue)
-            if when < self._now:  # pragma: no cover - defensive
-                raise SimulationError("time went backwards")
             self._now = when
-            if getattr(event, "cancelled", False):
-                continue
-            self.trace_hook(self._now, event)
-            self.events_dispatched += 1
-            try:
-                event.fire()
-            except StopSimulation as stop:
-                self._stopped = stop
-                return
         if until is not None:
             self._now = until
 
     def step(self) -> bool:
         """Dispatch a single event.  Returns False when the queue is empty."""
-        if not self._queue:
+        queue = self._queue
+        bucket = self._bucket
+        if bucket:
+            # Heap entries at the current time (pushed before the clock
+            # reached it, hence lower seq) fire before bucket entries.
+            if queue and queue[0][0] <= self._now:
+                when, _seq, event = heapq.heappop(queue)
+                self._now = when
+            else:
+                event = bucket.popleft()
+        elif queue:
+            when, _seq, event = heapq.heappop(queue)
+            self._now = when
+        else:
             return False
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
         if event.cancelled:
             return True
         self.events_dispatched += 1
@@ -243,10 +331,12 @@ class Simulator:
 
     @property
     def queue_size(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._bucket)
 
     def peek(self) -> Optional[float]:
         """Virtual time of the next pending event, or None if idle."""
+        if self._bucket:
+            return self._now
         return self._queue[0][0] if self._queue else None
 
 

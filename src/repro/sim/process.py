@@ -7,7 +7,8 @@ the event's value is sent back into the generator (failures are thrown in).
 facade exposes blocking calls.
 
 A process may also yield a bare non-negative ``float``/``int``: a *CPU
-charge*.  The process is then scheduled directly on the kernel heap and
+charge*.  The process is then scheduled directly on the kernel queue
+(heap for positive charges, the near-horizon bucket for zero charges) and
 resumed (with ``None``) that many virtual seconds later — observationally
 identical to yielding ``Timeout(sim, seconds)``, including the dispatched
 event count and FIFO sequencing, but without allocating an event or
@@ -166,8 +167,11 @@ class Process:
         cls = type(target)
         if (cls is float or cls is int) and target >= 0:
             sim = self.sim
-            sim._seq += 1
-            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            if target or not sim._bucketed:
+                sim._seq += 1
+                heappush(sim._queue, (sim._now + target, sim._seq, self))
+            else:
+                sim._bucket.append(self)
             self._waiting_on = _CHARGING
             return
         self._wait_on(target)
@@ -207,8 +211,11 @@ class Process:
         cls = type(target)
         if (cls is float or cls is int) and target >= 0:
             sim = self.sim
-            sim._seq += 1
-            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            if target or not sim._bucketed:
+                sim._seq += 1
+                heappush(sim._queue, (sim._now + target, sim._seq, self))
+            else:
+                sim._bucket.append(self)
             self._waiting_on = _CHARGING
             return
         self._wait_on(target)
@@ -233,8 +240,11 @@ class Process:
         if (cls is float or cls is int) and target >= 0:
             # CPU charge: schedule this process directly (see module docs).
             sim = self.sim
-            sim._seq += 1
-            heappush(sim._queue, (sim._now + target, sim._seq, self))
+            if target or not sim._bucketed:
+                sim._seq += 1
+                heappush(sim._queue, (sim._now + target, sim._seq, self))
+            else:
+                sim._bucket.append(self)
             self._waiting_on = _CHARGING
             return
         # Blocker protocol: an object (e.g. a fabric endpoint) that parks
@@ -300,6 +310,23 @@ class Process:
             except BaseException:  # noqa: BLE001
                 pass
             self._finish(crashed=True)
+
+    def abandon(self) -> None:
+        """Tear down a process that will never run again (idempotent).
+
+        End-of-run cleanup for blocked survivors of lost-rank scenarios:
+        closing the generator unwinds it with ``GeneratorExit``, so the
+        ownership guards in the PML receive pipeline see the abandonment
+        and strand-account whatever the process was borrowing.  Unlike
+        :meth:`crash`, no ``ProcessCrashed`` is delivered and the
+        ``terminated`` event does not fire — the simulation is already
+        over and nobody is left to observe either.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._waiting_on = None
+        self._gen.close()
 
     def join(self) -> Event:
         """Event that fires when this process terminates."""

@@ -14,8 +14,11 @@ Hot-path notes
 Events are the unit of simulation work — every frame delivery, CPU charge
 and process wake-up allocates one — so the class is kept deliberately lean:
 ``__slots__`` everywhere, the callback list allocated lazily on first
-``add_callback``, and zero-delay completion pushed straight onto the
-simulator heap without going through :meth:`Simulator.schedule`.
+``add_callback``, and zero-delay completion appended straight to the
+simulator's near-horizon bucket (one FIFO append — no sequence counter,
+no tuple, no heap sift) without going through :meth:`Simulator.schedule`.
+In heap-only mode (``Simulator(bucketed=False)``) the same sites push the
+seed-shaped ``(now, seq, event)`` heap entry instead.
 """
 
 from __future__ import annotations
@@ -91,8 +94,11 @@ class Event:
         self._ok = True
         if delay == 0.0:
             sim = self.sim
-            sim._seq += 1
-            heappush(sim._queue, (sim._now, sim._seq, self))
+            if sim._bucketed:
+                sim._bucket.append(self)
+            else:
+                sim._seq += 1
+                heappush(sim._queue, (sim._now, sim._seq, self))
         else:
             self.sim.schedule(self, delay)
         return self
@@ -153,8 +159,11 @@ class Timeout(Event):
         self._fired = False
         self.cancelled = False
         self.delay = delay
-        sim._seq += 1
-        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        if delay or not sim._bucketed:
+            sim._seq += 1
+            heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        else:
+            sim._bucket.append(self)
 
     @property
     def label(self) -> str:  # shadows the Event slot; Timeouts are immutable

@@ -12,6 +12,8 @@ Usage::
     PYTHONPATH=src python tools/bench.py              # run, print table
     PYTHONPATH=src python tools/bench.py --quick      # smaller rounds (CI smoke)
     PYTHONPATH=src python tools/bench.py --paper      # 256-rank paper-scale smoke
+    PYTHONPATH=src python tools/bench.py --scale      # 1024-rank nightly smoke
+    PYTHONPATH=src python tools/bench.py --scale4k    # 4096-rank nightly smoke
     PYTHONPATH=src python tools/bench.py --update     # rewrite BENCH_engine.json
     PYTHONPATH=src python tools/bench.py --check      # fail on >20% events/s regression
     PYTHONPATH=src python tools/bench.py --baseline LABEL  # record as 'baseline'
@@ -31,8 +33,10 @@ smoke (512 physical processes under degree-2 replication) — the scale the
 paper's testbed measured — to keep collective/large-world costs on the
 per-PR gate, not just per-release sweeps; ``scale`` runs the same shape at
 **1024 logical ranks** (2048 physical processes, ~4.5x the paper tier's
-event count) — affordable nightly but not per-PR, so the scheduled job in
-``.github/workflows/ci.yml`` owns it.
+event count) and ``scale4k`` at **4096 logical ranks** (8192 processes,
+~1M events — affordable at all only since the two-level event queue) —
+both too heavy per-PR, so the scheduled nightly job in
+``.github/workflows/ci.yml`` owns them.
 
 Every workload runs **once untimed** before the timed repeats: the first
 execution pays one-off lazy costs (per-channel pricing state, cost-model
@@ -112,6 +116,16 @@ def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
 
 
 def _workloads(mode: str) -> Dict[str, Callable[[], Any]]:
+    if mode == "scale4k":
+        # The 4096-logical-rank (8192-process) tier the ROADMAP called
+        # unaffordable before the queue machinery changed: one collective
+        # ring iteration is 13 recursive-doubling rounds across the whole
+        # world, ~1M events.  Nightly-only, alongside --scale.
+        return {
+            "sdr-collectives-4096": lambda: _run_job(
+                "sdr", ring_collectives, n_ranks=4096, iters=1, nbytes=4096
+            ),
+        }
     if mode == "scale":
         # Nightly-scale smoke: 1024 logical ranks / 2048 physical
         # processes under degree-2 SDR — one collective ring iteration is
@@ -214,13 +228,14 @@ def main(argv=None) -> int:
     ap.add_argument("--quick", action="store_true", help="smaller rounds (CI smoke)")
     ap.add_argument("--paper", action="store_true", help="256-rank paper-scale smoke")
     ap.add_argument("--scale", action="store_true", help="1024-rank nightly-scale smoke")
+    ap.add_argument("--scale4k", action="store_true", help="4096-rank nightly-scale smoke")
     ap.add_argument("--check", action="store_true", help="fail on >20%% ev/s regression")
     ap.add_argument("--update", action="store_true", help="rewrite the 'current' snapshot")
     ap.add_argument("--baseline", metavar="LABEL", help="record this run as 'baseline'")
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args(argv)
 
-    exclusive = [flag for flag in ("quick", "paper", "scale") if getattr(args, flag)]
+    exclusive = [flag for flag in ("quick", "paper", "scale", "scale4k") if getattr(args, flag)]
     if len(exclusive) > 1:
         ap.error("--" + " and --".join(exclusive) + " are mutually exclusive")
     mode = exclusive[0] if exclusive else "full"
@@ -255,14 +270,25 @@ def main(argv=None) -> int:
         return 0
 
     if args.check:
-        committed = record.get("current", {}).get("modes", {}).get(mode, {})
+        # A brand-new tier has no snapshot to gate against: fail loudly
+        # with the fix spelled out instead of comparing against nothing
+        # (or KeyError-ing) — a gate that silently passes on a missing
+        # reference is how regressions in new tiers would go unnoticed.
+        mode_flag = "" if mode == "full" else f"--{mode} "
+        committed = (record.get("current") or {}).get("modes", {}).get(mode)
         if not committed:
-            print(f"no committed 'current' snapshot for mode {mode!r}; run --update first", file=sys.stderr)
+            print(
+                f"bench --check: no committed 'current' snapshot for mode {mode!r} "
+                f"in {BENCH_PATH} — record one first:\n"
+                f"  python tools/bench.py {mode_flag}--update",
+                file=sys.stderr,
+            )
             return 2
         # Per-workload delta table: the gate's verdict should be readable
         # at a glance from CI logs, not reverse-engineered from an exit
         # code and a wall of numbers.
         failed = []
+        missing = []
         header = (
             f"  {'workload':<22s} {'fresh ev/s':>12s} {'committed':>12s} "
             f"{'delta':>8s} {'floor':>12s}  verdict"
@@ -272,7 +298,13 @@ def main(argv=None) -> int:
         for name, res in results.items():
             ref = committed.get(name)
             if ref is None:
-                print(f"  {name:<22s} {res['events_per_sec']:>12,.0f} {'(new)':>12s}")
+                # A workload with no committed number cannot be gated —
+                # that is a failure of the snapshot, not a free pass.
+                print(
+                    f"  {name:<22s} {res['events_per_sec']:>12,.0f} {'(missing)':>12s} "
+                    f"{'':>8s} {'':>12s}  NO SNAPSHOT"
+                )
+                missing.append(name)
                 continue
             floor = (1.0 - TOLERANCE) * ref["events_per_sec"]
             delta = res["events_per_sec"] / ref["events_per_sec"] - 1.0
@@ -284,12 +316,20 @@ def main(argv=None) -> int:
             )
             if not ok:
                 failed.append(name)
+        if missing:
+            print(
+                f"bench --check: workload(s) missing from the committed {mode!r} "
+                f"snapshot: {', '.join(missing)} — record them first:\n"
+                f"  python tools/bench.py {mode_flag}--update",
+                file=sys.stderr,
+            )
         if failed:
             print(
                 f"events/sec regression (> {TOLERANCE:.0%} below committed) in: "
                 f"{', '.join(failed)}",
                 file=sys.stderr,
             )
+        if failed or missing:
             return 1
         print(f"bench check passed ({mode}: all workloads within {TOLERANCE:.0%} of committed)")
         return 0

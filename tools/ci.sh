@@ -19,8 +19,9 @@
 #          256-logical-rank SDR collectives smoke at the same tolerance.
 #
 # On an intentional engine change, refresh the snapshots with
-#   python tools/bench.py --update && python tools/bench.py --quick --update \
-#     && python tools/bench.py --paper --update
+#   for t in "" --quick --paper --scale --scale4k; do
+#     python tools/bench.py $t --update
+#   done
 # and commit the result — the perf trajectory is part of the repo's
 # contract (see docs/performance.md).
 

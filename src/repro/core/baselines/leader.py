@@ -76,7 +76,23 @@ class LeaderDecideMixin:
     Mixed into protocols that must agree on non-deterministic outcomes
     (this baseline and redMPI).  Requires the host protocol to provide
     ``pml``, ``rmap``, ``membership``, ``rank``, ``rep``.
+
+    Empty ``__slots__``: the decider attributes (see ``DECIDER_SLOTS``)
+    are declared by each slotted host class — Python forbids two bases
+    with non-empty slot layouts, so the mixin contributes behaviour only.
     """
+
+    __slots__ = ()
+
+    #: per-instance decider state, declared in each host class's __slots__
+    DECIDER_SLOTS = (
+        "_anon_seq",
+        "decisions",
+        "_anon_pending",
+        "_arming_anon",
+        "decisions_sent",
+        "anonymous_recvs",
+    )
 
     def _init_decider(self) -> None:
         self._anon_seq = 0
@@ -165,8 +181,10 @@ class LeaderProtocol(LeaderDecideMixin, SdrProtocol):
 
     name = "leader"
 
-    def __init__(self, pml, rmap, membership, cfg) -> None:
-        SdrProtocol.__init__(self, pml, rmap, membership, cfg)
+    __slots__ = LeaderDecideMixin.DECIDER_SLOTS
+
+    def __init__(self, pml, rmap, membership, cfg, shared=None) -> None:
+        SdrProtocol.__init__(self, pml, rmap, membership, cfg, shared=shared)
         self._init_decider()
 
     def app_irecv(self, ctx, source, tag, buf=None) -> Generator[Any, Any, RecvHandle]:

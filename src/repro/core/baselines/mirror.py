@@ -26,6 +26,8 @@ __all__ = ["MirrorProtocol"]
 class MirrorProtocol(ReplicatedBase):
     name = "mirror"
 
+    __slots__ = ()
+
     def app_isend(
         self, ctx, src_rank, tag, data, world_dst, synchronous=False
     ) -> Generator[Any, Any, SendHandle]:

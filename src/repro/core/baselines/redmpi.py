@@ -67,8 +67,17 @@ def payload_digest(payload: Any) -> int:
 class RedMpiProtocol(LeaderDecideMixin, ReplicatedBase):
     name = "redmpi"
 
-    def __init__(self, pml, rmap, membership, cfg) -> None:
-        ReplicatedBase.__init__(self, pml, rmap, membership, cfg)
+    __slots__ = LeaderDecideMixin.DECIDER_SLOTS + (
+        "_own_digests",
+        "_foreign_digests",
+        "_compared",
+        "sdc_events",
+        "hashes_sent",
+        "_corrupt_pending",
+    )
+
+    def __init__(self, pml, rmap, membership, cfg, shared=None) -> None:
+        ReplicatedBase.__init__(self, pml, rmap, membership, cfg, shared=shared)
         self._init_decider()
         #: (src_rank, seq) -> digest of my own received copy
         self._own_digests: Dict[Tuple[int, int], int] = {}

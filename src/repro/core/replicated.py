@@ -21,7 +21,7 @@ single FIFO channel, so the filter is pure bookkeeping.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.core.config import ReplicationConfig
 from repro.core.interpose import BaseProtocol
@@ -29,7 +29,52 @@ from repro.core.membership import MembershipService
 from repro.core.worlds import ReplicaMap
 from repro.mpi.pml import CTS_BYTES, Envelope, Pml
 
-__all__ = ["ReplicatedBase"]
+__all__ = ["ReplicatedBase", "ProtocolShared"]
+
+
+class ProtocolShared:
+    """Job-wide read-only flyweight of the replica stacks' common state.
+
+    Every replicated protocol instance used to re-derive (and hold) the
+    same handful of values: the replica map, membership service, config
+    object, the cfg cost knobs it cached for its hot paths, and the
+    replica-major base offsets its send/ack fan-outs recompute per message.
+    None of that is per-process — it is immutable after job setup — so one
+    instance per :class:`~repro.harness.runner.Job` is built and every
+    stack references it; the protocol instances keep only their mutable
+    residue (cursors, retention, counters) in ``__slots__``.
+
+    Protocols constructed without a shared object (``shared=None``) build
+    a private one — the seed-shaped per-process construction the
+    equivalence suite compares against (``Job(shared_state=False)``).
+    """
+
+    __slots__ = (
+        "rmap",
+        "membership",
+        "cfg",
+        "n_ranks",
+        "degree",
+        "rep_bases",
+        "ack_bytes",
+        "hash_bytes",
+        "ack_post_overhead",
+        "ack_handle_overhead",
+    )
+
+    def __init__(self, rmap: ReplicaMap, membership: MembershipService, cfg: ReplicationConfig) -> None:
+        self.rmap = rmap
+        self.membership = membership
+        self.cfg = cfg
+        self.n_ranks = rmap.n_ranks
+        self.degree = rmap.degree
+        #: replica-major base offset per replica index: phys(rank, rep) ==
+        #: rep_bases[rep] + rank — the arithmetic table the fan-out loops use
+        self.rep_bases = tuple(rep * rmap.n_ranks for rep in range(rmap.degree))
+        self.ack_bytes = cfg.ack_bytes
+        self.hash_bytes = cfg.hash_bytes
+        self.ack_post_overhead = cfg.ack_post_overhead
+        self.ack_handle_overhead = cfg.ack_handle_overhead
 
 
 class ReplicatedBase(BaseProtocol):
@@ -37,15 +82,32 @@ class ReplicatedBase(BaseProtocol):
 
     name = "replicated"
 
+    __slots__ = (
+        "shared",
+        "rmap",
+        "membership",
+        "cfg",
+        "rank",
+        "rep",
+        "_expected",
+        "_reorder",
+        "duplicates_dropped",
+    )
+
     def __init__(
         self,
         pml: Pml,
         rmap: ReplicaMap,
         membership: MembershipService,
         cfg: ReplicationConfig,
+        shared: Optional[ProtocolShared] = None,
     ) -> None:
         rank = rmap.rank_of(pml.proc)
         super().__init__(pml, world_rank=rank)
+        if shared is None:
+            shared = ProtocolShared(rmap, membership, cfg)
+        self.shared = shared
+        # Hot aliases (the same objects the shared table references).
         self.rmap = rmap
         self.membership = membership
         self.cfg = cfg
@@ -53,8 +115,9 @@ class ReplicatedBase(BaseProtocol):
         self.rep = rmap.rep_of(pml.proc)
         #: next expected seq per sending logical rank (receive-side cursor)
         self._expected: Dict[int, int] = {}
-        #: early arrivals per sending logical rank: seq -> envelope
-        self._reorder: Dict[int, Dict[int, Envelope]] = {}
+        #: early arrivals per sending logical rank: seq -> envelope;
+        #: lazy — crash-free single-channel traffic never reorders
+        self._reorder: Optional[Dict[int, Dict[int, Envelope]]] = None
         self.duplicates_dropped = 0
         pml.incoming_filter = self._filter_incoming
         pml.svc_handlers["failure"] = self._svc_failure
@@ -76,7 +139,8 @@ class ReplicatedBase(BaseProtocol):
         if env.seq == expected:
             self._expected[src] = expected + 1
             yield from self.pml.deliver_to_matching(env)
-            held = self._reorder.get(src)
+            reorder = self._reorder
+            held = reorder.get(src) if reorder else None
             while held:
                 nxt = self._expected[src]
                 early = held.pop(nxt, None)
@@ -86,7 +150,10 @@ class ReplicatedBase(BaseProtocol):
                 yield from self.pml.deliver_to_matching(early)
             return False
         if env.seq > expected:
-            self._reorder.setdefault(src, {})[env.seq] = env
+            reorder = self._reorder
+            if reorder is None:
+                reorder = self._reorder = {}
+            reorder.setdefault(src, {})[env.seq] = env
             return False
         # Duplicate: mirror copy, substitute resend, or recovery replay.
         self.duplicates_dropped += 1
@@ -132,9 +199,10 @@ class ReplicatedBase(BaseProtocol):
         yield from ()
 
     # --------------------------------------------------------------- teardown
-    def reap(self) -> None:
+    def reap(self) -> int:
         """End-of-run teardown: release envelopes parked in the reorder
-        buffers.
+        buffers.  Returns how many were reaped (strand attribution:
+        the ``reorder_reap`` site in ``JobResult.stranded_by_site``).
 
         On a crash-free run the buffers drain naturally (every gap fills).
         After a fail-stop, gaps can persist forever — the peer that would
@@ -143,10 +211,16 @@ class ReplicatedBase(BaseProtocol):
         envelopes are well-defined leftovers the arena-balance check reaps,
         exactly like the PML's unexpected queue.
         """
-        for held in self._reorder.values():
+        reorder = self._reorder
+        if not reorder:
+            return 0
+        reaped = 0
+        for held in reorder.values():
             for env in held.values():
                 self.pml.release_env(env)
+            reaped += len(held)
             held.clear()
+        return reaped
 
     def stats(self) -> dict:
         base = super().stats()

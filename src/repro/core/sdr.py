@@ -76,9 +76,30 @@ class SdrSendHandle(SendHandle):
 
 
 class SdrProtocol(ReplicatedBase):
-    """Per-physical-process SDR-MPI state machine."""
+    """Per-physical-process SDR-MPI state machine.
+
+    Per-instance state is the slotted mutable residue of the protocol —
+    send cursors, retention, failover scratch — while everything identical
+    across the job's stacks (replica arithmetic, cfg cost knobs) lives in
+    the shared :class:`~repro.core.replicated.ProtocolShared` object.  The
+    failover scratch (``substitute``, ``_early_acks``) is lazy: a
+    crash-free run never materializes it.
+    """
 
     name = "sdr"
+
+    __slots__ = (
+        "physical_dests",
+        "physical_src",
+        "_substitute",
+        "retention",
+        "_early_acks",
+        "recovery_hook",
+        "acks_sent",
+        "acks_received",
+        "resends",
+        "failovers_handled",
+    )
 
     def __init__(
         self,
@@ -86,23 +107,23 @@ class SdrProtocol(ReplicatedBase):
         rmap: ReplicaMap,
         membership: MembershipService,
         cfg: ReplicationConfig,
+        shared: Optional[Any] = None,
     ) -> None:
-        super().__init__(pml, rmap, membership, cfg)
+        super().__init__(pml, rmap, membership, cfg, shared=shared)
         #: physicalDests_p[rank]: replicas of `rank` I send application
         #: messages to (Algorithm 1 line 1); lazily defaulted to my pair.
         self.physical_dests: Dict[int, List[int]] = {}
         #: physicalSrc_p[rank] (line 2) — informational under logical-rank
         #: matching, kept for introspection and tests.
         self.physical_src: Dict[int, int] = {}
-        #: substitute_p[rep] (line 3): who sends on behalf of each replica
-        #: of MY rank.
-        self.substitute: Dict[int, int] = {rep: rep for rep in range(rmap.degree)}
+        #: substitute_p[rep] (line 3) storage, materialized on first use —
+        #: identity until a failover rewrites it (see the property).
+        self._substitute: Optional[Dict[int, int]] = None
         #: messages awaiting acks: (world_dst, seq) -> handle
         self.retention: Dict[Tuple[int, int], SdrSendHandle] = {}
-        #: acks that arrived before their send was posted
-        self._early_acks: Dict[Tuple[int, int], Set[int]] = {}
-        #: ranks with a respawn pending that I may have to perform
-        self._pending_recovery: List[int] = []
+        #: acks that arrived before their send was posted (lazy: only the
+        #: replica pair running behind ever parks one)
+        self._early_acks: Optional[Dict[Tuple[int, int], Set[int]]] = None
         #: recovery manager callback (installed by the harness when enabled)
         self.recovery_hook = None
         # metrics
@@ -110,14 +131,19 @@ class SdrProtocol(ReplicatedBase):
         self.acks_received = 0
         self.resends = 0
         self.failovers_handled = 0
-        # Hot-path caches: cfg is frozen for the job's lifetime, and the
-        # ack paths run once per application message received/acked.
-        self._ack_bytes = cfg.ack_bytes
-        self._ack_handle_overhead = cfg.ack_handle_overhead
-        self._ack_post_overhead = cfg.ack_post_overhead
         pml.ctrl_handlers[ACK] = self._on_ack
         pml.ctrl_handlers[RECOVERED] = self._on_recovered
         pml.on_recv_complete.append(self._ack_on_recv_complete)
+
+    @property
+    def substitute(self) -> Dict[int, int]:
+        """substitute_p[rep]: who sends on behalf of each replica of MY
+        rank — identity until a failover, so the per-proc dict is built on
+        first access rather than for all 8192+ stacks up front."""
+        sub = self._substitute
+        if sub is None:
+            sub = self._substitute = {rep: rep for rep in range(self.rmap.degree)}
+        return sub
 
     # ----------------------------------------------------------- destinations
     def _default_dests(self, world_dst: int) -> List[int]:
@@ -151,10 +177,10 @@ class SdrProtocol(ReplicatedBase):
             dests = self.dests_for(world_dst)
         pml = self.pml
         endpoints = pml.fabric.endpoints
-        n_ranks = self.rmap.n_ranks
-        ack_post = self._ack_post_overhead
-        for rep in range(self.rmap.degree):
-            ph = rep * n_ranks + world_dst  # rmap.phys, replica-major
+        shared = self.shared
+        ack_post = shared.ack_post_overhead
+        for base in shared.rep_bases:
+            ph = base + world_dst  # rmap.phys, replica-major
             if ph in dests:
                 if not endpoints[ph].alive:
                     continue
@@ -172,7 +198,8 @@ class SdrProtocol(ReplicatedBase):
                 handle.needs_ack.add(ph)
                 if ack_post > 0:
                     yield ack_post
-        early = self._early_acks.pop((world_dst, seq), None)
+        early_acks = self._early_acks
+        early = early_acks.pop((world_dst, seq), None) if early_acks else None
         if early:
             handle.needs_ack -= early
         if handle.needs_ack:
@@ -195,23 +222,24 @@ class SdrProtocol(ReplicatedBase):
         :mod:`repro.core.interpose`): every field the acks need is read
         while the hook runs; nothing retains the envelope.
         """
-        rmap = self.rmap
-        n_ranks = rmap.n_ranks
+        shared = self.shared
+        n_ranks = shared.n_ranks
         sender_rep = env.src_phys // n_ranks  # rmap.rep_of, unchecked
         pml = self.pml
         endpoints = pml.fabric.endpoints
-        send_cost = pml._send_cost
+        send_row = pml._send_row
+        node_of = pml._node_of
         src_rank = env.world_src
         seq = env.seq
-        ack_bytes = self._ack_bytes
-        for rep in range(rmap.degree):
+        ack_bytes = shared.ack_bytes
+        for rep, base in enumerate(shared.rep_bases):
             if rep == sender_rep:
                 continue
-            ph = rep * n_ranks + src_rank  # rmap.phys, replica-major
+            ph = base + src_rank  # rmap.phys, replica-major
             if endpoints[ph].alive:
                 self.acks_sent += 1
-                # pml.send_cost inlined: one dict probe per ack sent
-                cost = send_cost.get(ph)
+                # pml.send_cost inlined: one row probe per ack sent
+                cost = send_row.get(node_of[ph])
                 if cost is None:
                     cost = pml._send_cost_to(ph)
                 if cost[0] > 0.0:
@@ -242,7 +270,7 @@ class SdrProtocol(ReplicatedBase):
         # up front; the PML recycles it when this generator finishes.
         world_dst, seq = env.data
         self.acks_received += 1
-        overhead = self._ack_handle_overhead
+        overhead = self.shared.ack_handle_overhead
         if overhead > 0:
             yield overhead
         handle = self.retention.get((world_dst, seq))
@@ -252,7 +280,10 @@ class SdrProtocol(ReplicatedBase):
                 del self.retention[(world_dst, seq)]
         elif seq >= self._send_seq.get(world_dst, 0):
             # The other replica pair ran ahead: park the ack.
-            self._early_acks.setdefault((world_dst, seq), set()).add(env.src_phys)
+            early_acks = self._early_acks
+            if early_acks is None:
+                early_acks = self._early_acks = {}
+            early_acks.setdefault((world_dst, seq), set()).add(env.src_phys)
         # else: late ack for a fully-acked message (after a re-ack) — drop.
         yield from ()
 

@@ -21,9 +21,11 @@ from repro.core.config import ReplicationConfig
 from repro.core.interpose import NativeProtocol
 from repro.core.io import NativeIo, ReplicatedIo, VirtualFileSystem
 from repro.core.membership import MembershipService
+from repro.core.replicated import ProtocolShared
 from repro.core.sdr import SdrProtocol
 from repro.core.worlds import ReplicaMap
 from repro.mpi.api import MpiProcess
+from repro.mpi.comm import shared_world
 from repro.mpi.errors import DeadlockError, MpiError
 from repro.mpi.pml import Pml
 from repro.network.fabric import Fabric
@@ -72,6 +74,12 @@ class JobResult:
     events: int
     #: ranks that lost every replica (empty on success)
     lost_ranks: List[int] = field(default_factory=list)
+    #: strand *attribution*: {site: {"frames": n, "envs": n}} — which
+    #: fail-stop mechanism stranded what (``inbox_clear``,
+    #: ``dead_endpoint``, ``dead_source``, ``abandoned_pipeline``,
+    #: ``reorder_reap``, ``retired_stack``, ...), so failover experiments
+    #: can report per-mechanism losses instead of one opaque total
+    stranded_by_site: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def stat_total(self, key: str) -> int:
         return sum(s.get(key, 0) for s in self.stats.values())
@@ -90,6 +98,7 @@ class Job:
         recorder_factory: Optional[Callable[[int, int], Any]] = None,
         pooling: bool = True,
         bucketed: bool = True,
+        shared_state: bool = True,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
         self.n_ranks = n_ranks
@@ -112,11 +121,23 @@ class Job:
         #: intact — the equivalence suite proves the pooled engine
         #: observationally identical to this mode.
         self.pooling = pooling
+        #: ``shared_state=False`` gives every stack seed-shaped *private*
+        #: copies of the flyweight state (cost rows, protocol config, world
+        #: communicator members) — the executable spec the shared-state
+        #: equivalence suite compares against.  Values are identical either
+        #: way; only the sharing differs.
+        self.shared_state = shared_state
+        self._world_shared = shared_world(n_ranks) if shared_state else None
         self.fabric = Fabric(self.sim, self.placement, jitter=jitter)
         self.fabric.pool_frames = pooling
         self.membership = MembershipService(
             self.sim, self.fabric, self.rmap, detection_delay=self.cfg.detection_delay
         )
+        #: one read-only protocol config shared by every replica stack
+        #: (``shared_state=False`` → None → each protocol builds its own)
+        self._proto_shared: Optional[ProtocolShared] = None
+        if shared_state and self.cfg.protocol != "native":
+            self._proto_shared = ProtocolShared(self.rmap, self.membership, self.cfg)
         self.vfs = VirtualFileSystem(self.sim)
         self.pmls: Dict[int, Pml] = {}
         self.protocols: Dict[int, Any] = {}
@@ -134,6 +155,8 @@ class Job:
         #: balance, so they are retired here instead of vanishing when
         #: ``spawn_replica`` overwrites the per-proc dicts.
         self._retired_stacks: List[Any] = []
+        #: teardown-reap strand attribution (see JobResult.stranded_by_site)
+        self._reap_sites: Dict[str, int] = {"reorder_reap": 0, "retired_stack": 0}
         # Partial replication: replicas of unreplicated ranks simply do not
         # exist.  Mark their slots dead *before* protocols initialize, then
         # replay Algorithm 1's failure handling synchronously so replica-0
@@ -163,16 +186,23 @@ class Job:
         old_pml = self.pmls.get(proc)
         if old_pml is not None:
             self._retired_stacks.append((old_pml, self.protocols[proc]))
-        pml = Pml(self.sim, self.fabric, proc)
+        pml = Pml(self.sim, self.fabric, proc, shared_costs=self.shared_state)
         pml.pool_envelopes = self.pooling
         if self.cfg.protocol == "native":
             protocol = NativeProtocol(pml, world_rank=proc)
         else:
             protocol = _PROTOCOL_CLASSES[self.cfg.protocol](
-                pml, self.rmap, self.membership, self.cfg
+                pml, self.rmap, self.membership, self.cfg, shared=self._proto_shared
             )
         rank = self.rmap.rank_of(proc)
-        mpi = MpiProcess(self.sim, pml, protocol, world_rank=rank, world_size=self.n_ranks)
+        mpi = MpiProcess(
+            self.sim,
+            pml,
+            protocol,
+            world_rank=rank,
+            world_size=self.n_ranks,
+            world_shared=self._world_shared,
+        )
         if self.cluster.compute_noise > 0:
             # Stream keyed by (rank, replica): replica 0 sees the same noise
             # as the native run's rank, replica 1 sees independent noise —
@@ -268,6 +298,11 @@ class Job:
     def run(self, until: Optional[float] = None, allow_lost_ranks: bool = False) -> JobResult:
         """Run to completion; detects deadlock and lost ranks."""
         self.sim.run(until=until)
+        # Filter-guard violations surface on *every* exit path — a wedged
+        # run (deadlock, lost ranks) is exactly where an unguarded filter
+        # stranded something, and crash unwinding already swallowed the
+        # inline AssertionError (Process.crash: the crash wins).
+        self._check_guard_violations()
         lost = sorted(self.membership.lost_ranks)
         blocked = {
             p.name: (p._waiting_on.label if p._waiting_on is not None else "<runnable>")
@@ -300,7 +335,40 @@ class Job:
             },
             events=self.sim.events_dispatched,
             lost_ranks=lost,
+            stranded_by_site=self._strand_attribution(),
         )
+
+    def _check_guard_violations(self) -> None:
+        """Re-raise any incoming_filter ownership violations the runtime
+        guard recorded (see :func:`repro.core.interpose.guard_incoming_filter`)."""
+        pmls = list(self.pmls.values()) + [pml for pml, _proto in self._retired_stacks]
+        violations = [v for pml in pmls for v in (pml.guard_violations or ())]
+        if violations:
+            raise AssertionError(
+                "incoming_filter ownership violations (REPRO_FILTER_GUARD):\n  "
+                + "\n  ".join(violations)
+            )
+
+    def _strand_attribution(self) -> Dict[str, Dict[str, int]]:
+        """Merge every drop site's counters into one {site: {frames, envs}}
+        map: the fabric's fail-stop sites, the receive-pipeline guards on
+        every PML (live and retired), and the teardown reaps."""
+        by_site: Dict[str, Dict[str, int]] = {
+            site: {"frames": cell[0], "envs": cell[1]}
+            for site, cell in self.fabric.strands_by_site.items()
+        }
+        pmls = list(self.pmls.values()) + [pml for pml, _proto in self._retired_stacks]
+        for pml in pmls:
+            pml_sites = pml.env_stranded_by_site
+            if pml_sites:
+                for site, n in pml_sites.items():
+                    entry = by_site.setdefault(site, {"frames": 0, "envs": 0})
+                    entry["envs"] += n
+        for site, n in self._reap_sites.items():
+            if n:
+                entry = by_site.setdefault(site, {"frames": 0, "envs": 0})
+                entry["envs"] += n
+        return by_site
 
     def _assert_arenas_balanced(self) -> None:
         """Leak check: every Frame/Envelope acquire has a release or an
@@ -325,13 +393,24 @@ class Job:
         # routes any envelopes they were borrowing to the strand counters.
         for process in self.processes.values():
             process.abandon()
-        stacks = [(self.pmls[p], self.protocols[p]) for p in self.pmls]
-        stacks.extend(self._retired_stacks)
-        for pml, proto in stacks:
+        live = [(self.pmls[p], self.protocols[p]) for p in self.pmls]
+        reap_sites = self._reap_sites
+        for pml, proto in live:
             reap = getattr(proto, "reap", None)
             if reap is not None:
-                reap()
+                reap_sites["reorder_reap"] += reap() or 0
             pml.reap()
+        # Stacks replaced by a respawn: everything they still parked is
+        # attributed to the retirement, not the live stacks' reaping.
+        for pml, proto in self._retired_stacks:
+            retired = 0
+            reap = getattr(proto, "reap", None)
+            if reap is not None:
+                retired += reap() or 0
+            retired += pml.reap() or 0
+            reap_sites["retired_stack"] += retired
+        stacks = live + self._retired_stacks
+        self._check_guard_violations()
         fab = self.fabric
         frames_closed = fab.frames_released + fab.frames_stranded
         if fab.frames_acquired != frames_closed:

@@ -38,7 +38,30 @@ __all__ = ["MpiProcess"]
 
 
 class MpiProcess:
-    """Per-physical-process MPI facade bound to a protocol and a world."""
+    """Per-physical-process MPI facade bound to a protocol and a world.
+
+    A ``__slots__`` class: jobs build one per physical process, so the
+    per-instance ``__dict__`` is pure footprint at scale.  ``world_shared``
+    is the flyweight hand-off — the job builds one
+    :func:`repro.mpi.comm.shared_world` pair and every process's world
+    communicator references it instead of materializing its own
+    O(world_size) member tuple and rank map (the seed engine's dominant
+    construction cost at 4096+ ranks).
+    """
+
+    __slots__ = (
+        "sim",
+        "pml",
+        "protocol",
+        "world_rank",
+        "world_size",
+        "world",
+        "recorder",
+        "app_state",
+        "compute_time",
+        "noise",
+        "io",
+    )
 
     ANY_SOURCE = ANY_SOURCE
     ANY_TAG = ANY_TAG
@@ -50,13 +73,20 @@ class MpiProcess:
         protocol: "BaseProtocol",
         world_rank: int,
         world_size: int,
+        world_shared: Optional[Tuple[Tuple[int, ...], Any]] = None,
     ) -> None:
         self.sim = sim
         self.pml = pml
         self.protocol = protocol
         self.world_rank = world_rank
         self.world_size = world_size
-        self.world: Communicator = Communicator(self, ("w",), range(world_size))
+        if world_shared is not None:
+            members, rank_map = world_shared
+            self.world: Communicator = Communicator(self, ("w",), members, rank_map=rank_map)
+        else:
+            # Seed-shaped private construction (direct API users, tests,
+            # Job(shared_state=False)).
+            self.world = Communicator(self, ("w",), range(world_size))
         #: optional event recorder installed by :mod:`repro.trace`
         self.recorder = None
         #: set by workloads that support §3.4 recovery (fork/restore)

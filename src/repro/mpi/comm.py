@@ -18,7 +18,7 @@ tags (Open MPI does the same with separate context id halves).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.mpi.errors import RankError
 from repro.mpi.group import Group, UNDEFINED
@@ -26,17 +26,94 @@ from repro.mpi.group import Group, UNDEFINED
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.api import MpiProcess
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "IdentityRankMap", "shared_world"]
+
+
+class IdentityRankMap:
+    """Dict-shaped flyweight for the world→rank map of an identity communicator.
+
+    The world communicator maps world rank *w* to communicator rank *w* on
+    every process, so materializing a ``{w: w}`` dict per process costs
+    O(world_size) bytes × n_procs — the dominant construction footprint at
+    scale before this class existed.  One shared instance answers the same
+    queries arithmetically.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def get(self, world_rank: Any, default: Any = None) -> Any:
+        if type(world_rank) is int and 0 <= world_rank < self.n:
+            return world_rank
+        return default
+
+    def __getitem__(self, world_rank: int) -> int:
+        if type(world_rank) is int and 0 <= world_rank < self.n:
+            return world_rank
+        raise KeyError(world_rank)
+
+    def __contains__(self, world_rank: Any) -> bool:
+        return type(world_rank) is int and 0 <= world_rank < self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(range(self.n))
+
+    def keys(self):
+        return range(self.n)
+
+    def values(self):
+        return range(self.n)
+
+    def items(self):
+        return ((w, w) for w in range(self.n))
+
+
+def shared_world(world_size: int) -> Tuple[Tuple[int, ...], IdentityRankMap]:
+    """One (members, rank_map) pair for *every* process of a job to share.
+
+    Built once per :class:`~repro.harness.runner.Job` and handed to each
+    :class:`~repro.mpi.api.MpiProcess`: the per-process world communicator
+    then holds two references instead of an O(world_size) tuple + dict of
+    its own.
+    """
+    return tuple(range(world_size)), IdentityRankMap(world_size)
 
 
 class Communicator:
     """An ordered process group plus an isolated matching context."""
 
-    def __init__(self, api: "MpiProcess", ctx: Tuple, members: Sequence[int]) -> None:
+    __slots__ = (
+        "api",
+        "ctx",
+        "members",
+        "_world_to_rank",
+        "rank",
+        "ctx_p2p",
+        "ctx_coll",
+        "_child_seq",
+        "_coll_seq",
+    )
+
+    def __init__(
+        self,
+        api: "MpiProcess",
+        ctx: Tuple,
+        members: Sequence[int],
+        rank_map: Optional[Mapping[int, int]] = None,
+    ) -> None:
         self.api = api
         self.ctx = tuple(ctx)
+        #: ``tuple(t)`` returns *t* itself, so a shared members tuple (see
+        #: :func:`shared_world`) is stored by reference, never copied
         self.members: Tuple[int, ...] = tuple(members)
-        self._world_to_rank: Dict[int, int] = {w: r for r, w in enumerate(self.members)}
+        if rank_map is None:
+            rank_map = {w: r for r, w in enumerate(self.members)}
+        self._world_to_rank: Mapping[int, int] = rank_map
         me = api.world_rank
         if me not in self._world_to_rank:
             raise RankError(f"world rank {me} is not a member of {self.ctx}")
@@ -85,7 +162,8 @@ class Communicator:
         ctx = self.next_child_ctx("dup")
         # Synchronize like a real dup (context agreement is collective).
         yield from self.api.barrier(comm=self)
-        return Communicator(self.api, ctx, self.members)
+        # Same members, so the rank map is reusable (shared or private).
+        return Communicator(self.api, ctx, self.members, rank_map=self._world_to_rank)
 
     def split(self, color: int, key: int) -> Generator[Any, Any, Optional["Communicator"]]:
         """MPI_Comm_split (collective).

@@ -290,25 +290,64 @@ HookFn = Callable[..., Optional[Generator]]
 
 
 class Pml:
-    """Per-physical-process point-to-point layer."""
+    """Per-physical-process point-to-point layer.
 
-    def __init__(self, sim: Simulator, fabric: Fabric, proc: int) -> None:
+    A ``__slots__`` class whose ``__init__`` builds only the hot minimum:
+    jobs construct one PML per physical process, so every eager dict and
+    per-proc string here multiplies by 8192+ at scale.  Cold state —
+    the rendezvous tables, the filter-guard set — is lazy behind ``None``
+    sentinels, and the per-peer cost caches are **views into the job-level
+    shared table** (see :class:`repro.network.fabric.CostTable`): all PMLs
+    on a node share one send row and one recv row, keyed by peer node.
+    """
+
+    __slots__ = (
+        "sim",
+        "fabric",
+        "proc",
+        "endpoint",
+        "matching",
+        "_msg_id",
+        "_rdv_sends",
+        "_rdv_recvs",
+        "on_match",
+        "on_recv_complete",
+        "_incoming_filter",
+        "ctrl_handlers",
+        "svc_handlers",
+        "_env_pool",
+        "pool_envelopes",
+        "env_acquired",
+        "env_allocated",
+        "env_released",
+        "env_stranded",
+        "env_stranded_by_site",
+        "_node_of",
+        "_send_row",
+        "_recv_row",
+        "_release_frame",
+        "_guard_pending",
+        "guard_violations",
+        "sends_posted",
+        "recvs_posted",
+    )
+
+    def __init__(self, sim: Simulator, fabric: Fabric, proc: int, shared_costs: bool = True) -> None:
         self.sim = sim
         self.fabric = fabric
         self.proc = proc
         self.endpoint = fabric.endpoint(proc)
         self.matching = MatchEngine()
         self._msg_id = 0
-        # outstanding rendezvous state
-        self._rdv_sends: Dict[int, Tuple[PmlSendRequest, Envelope]] = {}
-        self._rdv_recvs: Dict[Tuple[int, int], PmlRecvRequest] = {}
+        # outstanding rendezvous state, lazily allocated: eager-only
+        # workloads (every small-message tier) never touch it
+        self._rdv_sends: Optional[Dict[int, Tuple[PmlSendRequest, Envelope]]] = None
+        self._rdv_recvs: Optional[Dict[Tuple[int, int], PmlRecvRequest]] = None
         # interposition surface
         self.on_match: List[HookFn] = []
         self.on_recv_complete: List[HookFn] = []
-        #: a filter that returns False takes *ownership* of the envelope:
-        #: it must eventually hand it to :meth:`deliver_to_matching` or
-        #: return it via :meth:`release_env` (duplicate drops)
-        self.incoming_filter: Optional[Callable[[Envelope], Generator]] = None
+        #: see the ``incoming_filter`` property
+        self._incoming_filter: Optional[Callable[[Envelope], Generator]] = None
         #: ctrl envelopes are recycled the moment a handler returns —
         #: handlers get a borrow and must copy out whatever they need
         #: (``env.retain()``/``env.copy()`` are the escape hatches)
@@ -330,13 +369,33 @@ class Pml:
         #: hook, a ctrl handler) strands the envelope the pipeline owned —
         #: the receive-path guards route it here instead of losing it
         self.env_stranded = 0
-        # Per-peer cost caches (models are immutable for a job's lifetime):
-        # dst -> (send_overhead, eager_limit), src -> recv_overhead.  One
-        # dict probe per frame instead of fabric/placement lookups.
-        self._send_cost: Dict[int, Tuple[float, int]] = {}
-        self._recv_cost: Dict[int, float] = {}
+        #: strand *attribution*: {site: count} filled by :meth:`strand_env`
+        #: (lazy — crash-free runs never allocate it)
+        self.env_stranded_by_site: Optional[Dict[str, int]] = None
+        # Per-peer cost views into the job-level shared CostTable: models
+        # are immutable for a job's lifetime and identical per node pair,
+        # so the rows are shared by every PML on this node and keyed by
+        # peer *node* (one list index + one dict probe per frame).
+        # shared_costs=False keeps seed-shaped private dicts (equivalence
+        # spec — same code path, unshared containers).
+        table = fabric.cost_table
+        self._node_of = table.node_of
+        my_node = self._node_of[proc]
+        if shared_costs:
+            self._send_row: Dict[int, Tuple[float, int]] = table.send_row(my_node)
+            self._recv_row: Dict[int, float] = table.recv_row(my_node)
+        else:
+            self._send_row = {}
+            self._recv_row = {}
         #: bound-method cache: one attribute chase per handled frame saved
         self._release_frame = fabric.release_frame
+        #: filter-guard bookkeeping (see the ``incoming_filter`` property);
+        #: ``None`` unless the debug guard is enabled
+        self._guard_pending: Optional[set] = None
+        #: ownership-contract violations the guard recorded; re-raised in
+        #: the harness teardown because crash unwinding swallows cleanup
+        #: errors (``Process.crash``: the crash wins)
+        self.guard_violations: Optional[List[str]] = None
         # counters
         self.sends_posted = 0
         self.recvs_posted = 0
@@ -354,12 +413,37 @@ class Pml:
             yield seconds
 
     def _send_cost_to(self, dst: int) -> Tuple[float, int]:
-        cost = self._send_cost.get(dst)
-        if cost is None:
-            model = self.fabric.model_for(self.proc, dst)
-            cost = (model.send_overhead, model.eager_limit)
-            self._send_cost[dst] = cost
+        """Row-fill slow path: price *dst* and publish it for every sharer."""
+        model = self.fabric.model_for(self.proc, dst)
+        cost = (model.send_overhead, model.eager_limit)
+        self._send_row[self._node_of[dst]] = cost
         return cost
+
+    # ------------------------------------------------------- incoming filter
+    @property
+    def incoming_filter(self) -> Optional[Callable[[Envelope], Generator]]:
+        """Protocol hook intercepting application envelopes before matching.
+
+        A filter that returns False takes *ownership* of the envelope: it
+        must eventually hand it to :meth:`deliver_to_matching` or return it
+        via :meth:`release_env` (duplicate drops), and a filter that owns
+        an envelope across a ``yield`` must route it to :meth:`strand_env`
+        when torn down mid-suspension (see :mod:`repro.core.interpose`).
+
+        Assignment goes through a property so the runtime ownership guard
+        (:func:`repro.core.interpose.filter_guard_enabled`) can wrap any
+        filter — in-tree or custom — at install time.
+        """
+        return self._incoming_filter
+
+    @incoming_filter.setter
+    def incoming_filter(self, fn: Optional[Callable[[Envelope], Generator]]) -> None:
+        if fn is not None:
+            from repro.core.interpose import filter_guard_enabled, guard_incoming_filter
+
+            if filter_guard_enabled():
+                fn = guard_incoming_filter(self, fn)
+        self._incoming_filter = fn
 
     # ------------------------------------------------------- envelope arena
     def acquire_env(
@@ -430,6 +514,9 @@ class Pml:
         cleared so a parked envelope pins nothing.  Envelopes retained via
         :meth:`Envelope.retain` stay live until their holder releases.
         """
+        pending = self._guard_pending
+        if pending is not None:
+            pending.discard(id(env))
         refs = env._refs
         if refs > 1:
             env._refs = refs - 1
@@ -441,7 +528,7 @@ class Pml:
         if self.pool_envelopes and len(pool) < 4096:
             pool.append(env)
 
-    def strand_env(self, env: Envelope) -> None:
+    def strand_env(self, env: Envelope, site: str = "abandoned_pipeline") -> None:
         """Account one abandoned ownership reference (fail-stop teardown).
 
         The refcount discipline mirrors :meth:`release_env`: a strand drops
@@ -449,13 +536,22 @@ class Pml:
         when no retainer still holds it (a retained envelope will still be
         released — or stranded — by its holder).  Stranded shells are not
         pooled: behaviour is identical to the pre-accounting engine, only
-        the counter moves.
+        the counter moves.  *site* attributes the strand to the mechanism
+        that dropped it (``abandoned_pipeline``, ``duplicate_window``, ...)
+        for :attr:`repro.harness.runner.JobResult.stranded_by_site`.
         """
+        pending = self._guard_pending
+        if pending is not None:
+            pending.discard(id(env))
         refs = env._refs
         if refs > 1:
             env._refs = refs - 1
             return
         self.env_stranded += 1
+        by_site = self.env_stranded_by_site
+        if by_site is None:
+            by_site = self.env_stranded_by_site = {}
+        by_site[site] = by_site.get(site, 0) + 1
         env.ctx = None
         env.data = None
 
@@ -469,7 +565,7 @@ class Pml:
         this body outright to skip the sub-generator entirely.
         """
         dst = env.dst_phys
-        cost = self._send_cost.get(dst)
+        cost = self._send_row.get(self._node_of[dst])
         if cost is None:
             cost = self._send_cost_to(dst)
         if cost[0] > 0.0:
@@ -510,7 +606,7 @@ class Pml:
         if nbytes is None:
             nbytes = nbytes_of(payload)
         msg_id = self._next_msg_id()
-        cost = self._send_cost.get(dst_phys)
+        cost = self._send_row.get(self._node_of[dst_phys])
         if cost is None:
             cost = self._send_cost_to(dst_phys)
         req = PmlSendRequest(dst_phys, nbytes, msg_id)
@@ -547,7 +643,10 @@ class Pml:
             env = self.acquire_env(
                 "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, payload, dst_phys, msg_id=msg_id
             )
-            self._rdv_sends[msg_id] = (req, env)
+            rdv = self._rdv_sends
+            if rdv is None:
+                rdv = self._rdv_sends = {}
+            rdv[msg_id] = (req, env)
             rts = self.acquire_env(
                 "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, None, dst_phys, msg_id=msg_id
             )
@@ -558,7 +657,7 @@ class Pml:
         """Sender CPU overhead toward *dst* (hot-path split of send_ctrl:
         protocols charge this themselves, then call :meth:`inject_ctrl`,
         avoiding a sub-generator per control frame)."""
-        cost = self._send_cost.get(dst_phys)
+        cost = self._send_row.get(self._node_of[dst_phys])
         if cost is None:
             cost = self._send_cost_to(dst_phys)
         return cost[0]
@@ -584,7 +683,7 @@ class Pml:
         Observationally identical to ``isend(..., already_copied=True)``.
         """
         msg_id = self._next_msg_id()
-        cost = self._send_cost.get(dst_phys)
+        cost = self._send_row.get(self._node_of[dst_phys])
         if cost is None:
             cost = self._send_cost_to(dst_phys)
         req = PmlSendRequest(dst_phys, nbytes, msg_id)
@@ -609,7 +708,10 @@ class Pml:
             env = self.acquire_env(
                 "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, payload, dst_phys, msg_id=msg_id
             )
-            self._rdv_sends[msg_id] = (req, env)
+            rdv = self._rdv_sends
+            if rdv is None:
+                rdv = self._rdv_sends = {}
+            rdv[msg_id] = (req, env)
             rts = self.acquire_env(
                 "rts", ctx, src_rank, tag, world_src, world_dst, seq, nbytes, None, dst_phys, msg_id=msg_id
             )
@@ -656,7 +758,7 @@ class Pml:
         # inject() inlined: ctrl frames (acks, decisions) outnumber
         # application frames under replication.  The envelope is acquired
         # *after* the charge so an abandoned generator leaks nothing.
-        cost = self._send_cost.get(dst_phys)
+        cost = self._send_row.get(self._node_of[dst_phys])
         if cost is None:
             cost = self._send_cost_to(dst_phys)
         if cost[0] > 0.0:
@@ -730,10 +832,11 @@ class Pml:
             return
         env: Envelope = payload
         if src >= 0:
-            overhead = self._recv_cost.get(src)
+            recv_row = self._recv_row
+            overhead = recv_row.get(self._node_of[src])
             if overhead is None:
                 overhead = fabric.model_for(src, self.proc).recv_overhead
-                self._recv_cost[src] = overhead
+                recv_row[self._node_of[src]] = overhead
             if overhead > 0.0:
                 try:
                     yield overhead
@@ -773,10 +876,11 @@ class Pml:
         elif env.kind == "data":
             yield from self._handle_rdv_data(env)
         elif env.kind in ("eager", "rts"):
-            if self.incoming_filter is not None:
+            filt = self._incoming_filter
+            if filt is not None:
                 # Ownership transfers to the filter: if it withholds the
                 # envelope (returns False) it must deliver or release it.
-                deliver = yield from self.incoming_filter(env)
+                deliver = yield from filt(env)
                 if not deliver:
                     return
             yield from self.deliver_to_matching(env)
@@ -798,6 +902,10 @@ class Pml:
         unexpected queue, whose entries the PML releases when they match
         (or at teardown).
         """
+        pending = self._guard_pending
+        if pending is not None:
+            # Filter-guard bookkeeping: ownership has left the filter.
+            pending.discard(id(env))
         recv = self.matching.arrive(env)
         if recv is not None:
             # _matched inlined for the eager case (one call per matched
@@ -901,7 +1009,10 @@ class Pml:
             seq = env.seq
             src_phys = env.src_phys
             msg_id = env.msg_id
-            self._rdv_recvs[(src_phys, msg_id)] = recv
+            rdv = self._rdv_recvs
+            if rdv is None:
+                rdv = self._rdv_recvs = {}
+            rdv[(src_phys, msg_id)] = recv
             recv.matched = None
             self.release_env(env)
             cts = self.acquire_env(
@@ -912,7 +1023,8 @@ class Pml:
             raise MpiError(f"cannot match frame kind {env.kind!r}")
 
     def _handle_cts(self, cts: Envelope) -> Generator:
-        entry = self._rdv_sends.pop(cts.msg_id, None)
+        rdv = self._rdv_sends
+        entry = rdv.pop(cts.msg_id, None) if rdv is not None else None
         # The CTS is consumed by that single lookup: recycle it before the
         # DATA injection below can yield.
         self.release_env(cts)
@@ -940,7 +1052,8 @@ class Pml:
         req.done = True
 
     def _handle_rdv_data(self, env: Envelope) -> Generator:
-        recv = self._rdv_recvs.pop((env.src_phys, env.msg_id), None)
+        rdv = self._rdv_recvs
+        recv = rdv.pop((env.src_phys, env.msg_id), None) if rdv is not None else None
         if recv is None:
             self.release_env(env)
             return  # receive was cancelled after CTS
@@ -983,11 +1096,14 @@ class Pml:
     def cancel_sends_to(self, dst_phys: int) -> int:
         """Cancel outstanding rendezvous sends toward a dead process."""
         cancelled = 0
-        for msg_id, (req, env) in list(self._rdv_sends.items()):
+        rdv = self._rdv_sends
+        if rdv is None:
+            return 0
+        for msg_id, (req, env) in list(rdv.items()):
             if req.dst_phys == dst_phys and not req.done:
                 req.cancelled = True
                 req.done = True
-                del self._rdv_sends[msg_id]
+                del rdv[msg_id]
                 self.release_env(env)
                 cancelled += 1
         return cancelled
@@ -1002,11 +1118,12 @@ class Pml:
             "env_allocated": self.env_allocated,
             "env_released": self.env_released,
             "env_stranded": self.env_stranded,
+            "env_stranded_by_site": dict(self.env_stranded_by_site or ()),
             "env_pool_size": len(self._env_pool),
             **self.matching.stats(),
         }
 
-    def reap(self) -> None:
+    def reap(self) -> int:
         """End-of-run teardown: release everything still parked here.
 
         Frames sitting in the inbox (e.g. a mirror duplicate that arrived
@@ -1016,8 +1133,10 @@ class Pml:
         every acquire was matched by a release.  Rendezvous retention is
         reaped too, though on a crash-free run it is empty (an incomplete
         send implies a blocked process, which the deadlock detector
-        reports first).
+        reports first).  Returns the number of envelopes released (strand
+        attribution for retired stacks).
         """
+        reaped = 0
         ep = self.endpoint
         while ep.inbox:
             frame = ep.inbox.popleft()
@@ -1026,8 +1145,14 @@ class Pml:
             self._release_frame(frame)
             if kind != "svc" and isinstance(payload, Envelope):
                 self.release_env(payload)
+                reaped += 1
         for env in self.matching.drain_unexpected():
             self.release_env(env)
-        for _req, env in self._rdv_sends.values():
-            self.release_env(env)
-        self._rdv_sends.clear()
+            reaped += 1
+        rdv = self._rdv_sends
+        if rdv is not None:
+            reaped += len(rdv)
+            for _req, env in rdv.values():
+                self.release_env(env)
+            rdv.clear()
+        return reaped

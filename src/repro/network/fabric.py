@@ -27,9 +27,10 @@ Hot-path notes
 :meth:`Fabric.inject` runs once per frame and is kept allocation-lean:
 :class:`Frame` is a ``__slots__`` class, delivery is a dedicated slotted
 event (:class:`_Delivery`) instead of a per-frame closure wrapped in a
-kernel callback, and the (src, dst) → cost-model and proc → node mappings
-are resolved once and cached instead of chasing placement dictionaries per
-frame.  The per-channel FIFO clamp (``_last_arrival``) applies to *both*
+kernel callback, and cost-model resolution goes through the job-level
+:class:`CostTable` (proc → node resolved once; models and cost rows
+memoized per *node pair* and shared by every PML) instead of chasing
+placement dictionaries per frame.  The per-channel FIFO clamp (``_last_arrival``) applies to *both*
 the intra-node path (keyed per channel) and the inter-node path (whose
 contention state is keyed per node uplink/downlink): with jitter enabled,
 arrivals on one ordered channel are clamped to be non-decreasing whatever
@@ -46,7 +47,70 @@ from repro.network.topology import Placement
 from repro.sim.kernel import Simulator
 from repro.sim.sync import Event
 
-__all__ = ["Frame", "Endpoint", "Fabric"]
+__all__ = ["Frame", "Endpoint", "Fabric", "CostTable"]
+
+
+class CostTable:
+    """Job-level flyweight of every (src, dst) → cost-model resolution.
+
+    Topology and cost parameters are immutable once a placement exists, so
+    nothing about pricing needs to live per process: the cost model for a
+    channel depends only on the *node pair* it crosses, and every process
+    on a node shares the same row of send/recv costs toward every other
+    node.  The seed engine cached these per endpoint — one
+    ``{dst_proc: (overhead, eager_limit)}`` dict per PML, O(peers) entries
+    × n_procs dicts — which at 8192+ processes is pure working-set growth
+    for values that are all identical per node pair.
+
+    One table per :class:`Fabric` (i.e. per job) replaces all of that:
+
+    * :meth:`model` memoizes ``cluster.model_for`` per (src_node, dst_node);
+    * :meth:`send_row` / :meth:`recv_row` hand out **shared, lazily filled**
+      per-node dicts keyed by peer *node* — every PML on the node holds a
+      reference to the same row, so the first PML to price a peer fills it
+      for all of them (values are deterministic, so fill order is
+      irrelevant);
+    * :attr:`node_of` is the one proc → node list every hot path indexes.
+
+    ``Job(shared_state=False)`` keeps the seed-shaped private-dicts
+    construction as the executable spec the equivalence suite compares
+    against.
+    """
+
+    __slots__ = ("placement", "node_of", "_models", "_send_rows", "_recv_rows")
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self.node_of: List[int] = [placement.node_of(p) for p in range(len(placement))]
+        self._models: Dict[Tuple[int, int], Any] = {}
+        self._send_rows: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        self._recv_rows: Dict[int, Dict[int, float]] = {}
+
+    def model(self, src_node: int, dst_node: int):
+        key = (src_node, dst_node)
+        model = self._models.get(key)
+        if model is None:
+            model = self.placement.cluster.model_for(src_node, dst_node)
+            self._models[key] = model
+        return model
+
+    def model_for(self, src: int, dst: int):
+        node_of = self.node_of
+        return self.model(node_of[src], node_of[dst])
+
+    def send_row(self, src_node: int) -> Dict[int, Tuple[float, int]]:
+        """Shared ``{dst_node: (send_overhead, eager_limit)}`` row."""
+        row = self._send_rows.get(src_node)
+        if row is None:
+            row = self._send_rows[src_node] = {}
+        return row
+
+    def recv_row(self, dst_node: int) -> Dict[int, float]:
+        """Shared ``{src_node: recv_overhead}`` row."""
+        row = self._recv_rows.get(dst_node)
+        if row is None:
+            row = self._recv_rows[dst_node] = {}
+        return row
 
 
 class Frame:
@@ -145,7 +209,10 @@ class Endpoint:
     def __init__(self, sim: Simulator, proc: int) -> None:
         self.sim = sim
         self.proc = proc
-        self._frame_label = f"frame@{proc}"
+        #: diagnostics label, built lazily — one f-string per endpoint is
+        #: pure construction footprint at 8192+ processes, and the label
+        #: is only read when a process actually parks on a waiter event
+        self._frame_label: Optional[str] = None
         self.inbox: Deque[Frame] = deque()
         self.alive = True
         self._waiter: Optional[Event] = None
@@ -165,7 +232,10 @@ class Endpoint:
     @property
     def label(self) -> str:
         """Diagnostics label (deadlock reports show what blocks a process)."""
-        return self._frame_label
+        label = self._frame_label
+        if label is None:
+            label = self._frame_label = f"frame@{self.proc}"
+        return label
 
     def block_process(self, process: Any) -> None:
         """Park *process* until a frame lands (Process blocker protocol)."""
@@ -203,7 +273,7 @@ class Endpoint:
 
     def wait_for_frame(self) -> Event:
         """Event that fires as soon as the inbox is (or becomes) non-empty."""
-        ev = Event(self.sim, label=self._frame_label)
+        ev = Event(self.sim, label=self.label)
         if self.inbox:
             ev.succeed(None)
             return ev
@@ -261,11 +331,11 @@ class Fabric:
         self._chan: Dict[Tuple[int, int], list] = {}
         self._node_busy: Dict[int, list] = {}
         self._jitter = jitter
-        # Hot-path caches: placement and cluster topology are immutable for
-        # the lifetime of a fabric, so resolve proc → node once and memoize
-        # (src, dst) → cost model on first use.
-        self._node_of: List[int] = [placement.node_of(p) for p in range(n_procs)]
-        self._model_cache: Dict[Tuple[int, int], Any] = {}
+        # Job-level shared pricing state: proc → node resolved once, cost
+        # models memoized per *node pair* (see CostTable), and per-node
+        # cost rows the PMLs share instead of keeping per-proc dicts.
+        self.cost_table = CostTable(placement)
+        self._node_of: List[int] = self.cost_table.node_of
         self.on_crash: List[Callable[[int], None]] = []
         #: free list of recycled Frame instances (see Frame docstring);
         #: bounded so pathological bursts cannot pin memory forever
@@ -287,6 +357,11 @@ class Fabric:
         #: harness asserts acquired == released + stranded on every run.
         self.frames_stranded = 0
         self.envs_stranded = 0
+        #: strand *attribution*: {site: (frames, envelopes)} per fail-stop
+        #: drop site (``inbox_clear``, ``dead_endpoint``, ``dead_source``)
+        #: — surfaced in :attr:`JobResult.stranded_by_site` so failover
+        #: experiments can report which mechanism stranded what
+        self.strands_by_site: Dict[str, List[int]] = {}
         #: totals for message-complexity ablations (mirror vs parallel)
         self.total_frames = 0
         self.total_bytes = 0
@@ -297,13 +372,8 @@ class Fabric:
         return self.endpoints[proc]
 
     def model_for(self, src: int, dst: int):
-        key = (src, dst)
-        model = self._model_cache.get(key)
-        if model is None:
-            node_of = self._node_of
-            model = self.placement.cluster.model_for(node_of[src], node_of[dst])
-            self._model_cache[key] = model
-        return model
+        node_of = self._node_of
+        return self.cost_table.model(node_of[src], node_of[dst])
 
     def is_alive(self, proc: int) -> bool:
         return self.endpoints[proc].alive
@@ -313,8 +383,7 @@ class Fabric:
         node_of = self._node_of
         src_node = node_of[src]
         dst_node = node_of[dst]
-        model = self.placement.cluster.model_for(src_node, dst_node)
-        self._model_cache.setdefault(key, model)
+        model = self.cost_table.model(src_node, dst_node)
         if src_node != dst_node:
             node_busy = self._node_busy
             src_busy = node_busy.get(src_node)
@@ -376,18 +445,24 @@ class Fabric:
             frame = Frame(src, dst, size, payload, kind)
         return self.inject(frame)
 
-    def strand_frame(self, frame: Frame) -> None:
+    def strand_frame(self, frame: Frame, site: str = "dead_endpoint") -> None:
         """Account a frame dropped at a fail-stop site (and the envelope it
         carries, if any).  Stranded objects are *not* pooled — behaviour is
         byte-identical to the silent drop, only the counters move — and the
-        references are cleared so the dead frame pins nothing.
+        references are cleared so the dead frame pins nothing.  *site*
+        attributes the drop to its mechanism for per-site reporting.
         """
         self.frames_stranded += 1
+        cell = self.strands_by_site.get(site)
+        if cell is None:
+            cell = self.strands_by_site[site] = [0, 0]
+        cell[0] += 1
         payload = frame.payload
         if payload is not None and frame.kind != "svc":
             # Application/protocol frames carry exactly one arena-owned
             # envelope; svc frames carry a plain tuple.
             self.envs_stranded += 1
+            cell[1] += 1
         frame.payload = None
         frame.fabric = None
 
@@ -411,6 +486,7 @@ class Fabric:
             "frames_released": self.frames_released,
             "frames_stranded": self.frames_stranded,
             "envs_stranded": self.envs_stranded,
+            "strands_by_site": {k: tuple(v) for k, v in self.strands_by_site.items()},
             "frame_pool_size": len(self._frame_pool),
             "total_frames": self.total_frames,
             "total_bytes": self.total_bytes,
@@ -429,7 +505,7 @@ class Fabric:
             # A crashed process cannot send; drop (the process is being
             # torn down and no correctness property may depend on it) —
             # but the frame was acquired, so account the strand.
-            self.strand_frame(frame)
+            self.strand_frame(frame, "dead_source")
             return self.sim._now
         key = (src, dst)
         state = self._chan.get(key)
@@ -494,7 +570,7 @@ class Fabric:
         inbox clear — the frames will never be handled)."""
         inbox = ep.inbox
         while inbox:
-            self.strand_frame(inbox.popleft())
+            self.strand_frame(inbox.popleft(), "inbox_clear")
 
     def crash(self, proc: int) -> None:
         """Fail-stop endpoint *proc* and notify crash listeners."""

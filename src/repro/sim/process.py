@@ -123,7 +123,10 @@ class Process:
         self.on_exit = on_exit
         # Kick off at the current time via the event queue so construction
         # order, not construction *site*, determines first-step order.
-        start = Event(sim, label=f"start({name})")
+        # The start event completes immediately and nothing can ever block
+        # on it, so it shares the process's name string instead of
+        # allocating a per-process f-string label.
+        start = Event(sim, label=name)
         start.add_callback(self._resume_cb)
         start.succeed(None)
 

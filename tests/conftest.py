@@ -39,6 +39,21 @@ def run_app(
     return job.run()
 
 
+class DeliverSpy:
+    """Proxy standing in for a protocol's (slotted) Pml in filter tests.
+
+    ``Pml`` has ``__slots__``, so tests can no longer monkeypatch
+    ``deliver_to_matching`` on the instance; rebinding ``proto.pml`` to
+    this proxy reroutes delivery while forwarding everything else."""
+
+    def __init__(self, pml: Any, fake_deliver: Callable[[Any], Any]) -> None:
+        self._pml = pml
+        self.deliver_to_matching = fake_deliver
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._pml, name)
+
+
 @pytest.fixture
 def sim():
     from repro.sim.kernel import Simulator

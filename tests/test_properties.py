@@ -20,6 +20,8 @@ from repro.network.fabric import Fabric, Frame
 from repro.network.topology import Cluster, round_robin_placement
 from repro.sim.kernel import Simulator
 
+from tests.conftest import DeliverSpy
+
 
 @settings(max_examples=50)
 @given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False), min_size=1, max_size=40))
@@ -50,7 +52,7 @@ def test_reorder_filter_releases_in_order_exactly_once(order, dup):
         released.append(env.seq)
         yield from ()
 
-    proto.pml.deliver_to_matching = fake_deliver
+    proto.pml = DeliverSpy(proto.pml, fake_deliver)
 
     def feed(seq):
         env = Envelope(

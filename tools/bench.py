@@ -14,8 +14,10 @@ Usage::
     PYTHONPATH=src python tools/bench.py --paper      # 256-rank paper-scale smoke
     PYTHONPATH=src python tools/bench.py --scale      # 1024-rank nightly smoke
     PYTHONPATH=src python tools/bench.py --scale4k    # 4096-rank nightly smoke
+    PYTHONPATH=src python tools/bench.py --scale8k    # 8192-rank nightly smoke
     PYTHONPATH=src python tools/bench.py --update     # rewrite BENCH_engine.json
     PYTHONPATH=src python tools/bench.py --check      # fail on >20% events/s regression
+                                                      # (warn >15% peak-memory growth)
     PYTHONPATH=src python tools/bench.py --baseline LABEL  # record as 'baseline'
 
 ``BENCH_engine.json`` (repo root) holds two snapshots: ``baseline`` (the
@@ -33,10 +35,12 @@ smoke (512 physical processes under degree-2 replication) — the scale the
 paper's testbed measured — to keep collective/large-world costs on the
 per-PR gate, not just per-release sweeps; ``scale`` runs the same shape at
 **1024 logical ranks** (2048 physical processes, ~4.5x the paper tier's
-event count) and ``scale4k`` at **4096 logical ranks** (8192 processes,
-~1M events — affordable at all only since the two-level event queue) —
-both too heavy per-PR, so the scheduled nightly job in
-``.github/workflows/ci.yml`` owns them.
+event count), ``scale4k`` at **4096 logical ranks** (8192 processes,
+~1M events — affordable at all only since the two-level event queue) and
+``scale8k`` at **8192 logical ranks** (16384 processes, ~2.3M events —
+affordable only since the flyweight footprint pass) — all too heavy
+per-PR, so the scheduled nightly job in ``.github/workflows/ci.yml``
+owns them.
 
 Every workload runs **once untimed** before the timed repeats: the first
 execution pays one-off lazy costs (per-channel pricing state, cost-model
@@ -44,6 +48,19 @@ and matching-lane builds, frame/envelope arena warm-up, numpy import
 paths) that otherwise double-count into the first repeat's
 ``host_seconds``; the warmup run also supplies the reference event/frame
 counts the determinism assertion checks every timed repeat against.
+
+Memory columns: the untimed warmup runs under ``tracemalloc`` (never the
+timed repeats — instrumentation costs 2-4x wall time), recording the
+Python-heap peak (``mem_traced_peak_mb``), the same divided by simulated
+process count (``mem_bytes_per_proc`` — the footprint number the
+flyweight work targets), and the OS-level peak RSS at measurement time
+(``mem_rss_peak_mb``; note this is a *process high-water* mark, so in
+multi-workload modes later workloads inherit the peak of earlier ones —
+compare it per tier, not per workload).  ``--check`` gates memory
+*advisorily*: a >15% growth of the traced peak over the committed
+snapshot prints a WARNING but never fails the gate (host-dependent
+allocator behaviour should not block PRs; sustained growth shows up in
+the nightly logs).
 """
 
 from __future__ import annotations
@@ -51,8 +68,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 import time
+import tracemalloc
 from typing import Any, Callable, Dict
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
@@ -71,6 +90,8 @@ BENCH_PATH = os.environ.get("BENCH_ENGINE_PATH") or os.path.join(ROOT, "BENCH_en
 
 #: events/sec regression tolerance for --check (fraction of committed value)
 TOLERANCE = 0.20
+#: peak-memory growth tolerance for --check (advisory: warn, never fail)
+MEM_TOLERANCE = 0.15
 
 
 # --------------------------------------------------------------- workloads
@@ -116,6 +137,17 @@ def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
 
 
 def _workloads(mode: str) -> Dict[str, Callable[[], Any]]:
+    if mode == "scale8k":
+        # 8192 logical ranks / 16384 simulated processes, ~2.3M events —
+        # the tier the flyweight footprint pass (shared cost tables, slim
+        # PML/protocol state, shared world communicator) made affordable:
+        # the seed-shaped per-proc construction alone would hold multiple
+        # GB of identical state at this scale.  Nightly-only.
+        return {
+            "sdr-collectives-8192": lambda: _run_job(
+                "sdr", ring_collectives, n_ranks=8192, iters=1, nbytes=4096
+            ),
+        }
     if mode == "scale4k":
         # The 4096-logical-rank (8192-process) tier the ROADMAP called
         # unaffordable before the queue machinery changed: one collective
@@ -173,6 +205,14 @@ def _workloads(mode: str) -> Dict[str, Callable[[], Any]]:
 
 
 # --------------------------------------------------------------- measuring
+def _rss_peak_mb() -> float:
+    """OS-level peak RSS (process high-water mark) in MB."""
+    # ru_maxrss is KB on Linux, bytes on macOS.
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 if sys.platform != "darwin" else 1.0
+    return round(maxrss * scale / 1e6, 2)
+
+
 def measure(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, Any]:
     """Best-of-*repeats* host time; asserts run-to-run determinism.
 
@@ -182,9 +222,18 @@ def measure(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, Any]:
     with small repeat counts — survive the best-of filter.  The warmup's
     event/frame counts and virtual runtime become the reference every
     timed repeat must reproduce exactly.
+
+    The warmup also doubles as the **memory probe**: it runs under
+    ``tracemalloc`` (2-4x slower — which is why the timed repeats never
+    do), capturing the Python-heap peak and the per-simulated-process
+    footprint next to the events/sec columns.
     """
+    tracemalloc.start()
     warm = fn()
+    _cur, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
     events, frames, runtime = warm.events, warm.fabric["frames"], warm.runtime
+    n_procs = len(warm.stats)
     best = None
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -201,6 +250,10 @@ def measure(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, Any]:
         "events_per_sec": round(events / best, 1),
         "virtual_runtime": runtime,
         "total_frames": frames,
+        "n_procs": n_procs,
+        "mem_traced_peak_mb": round(traced_peak / 1e6, 2),
+        "mem_bytes_per_proc": round(traced_peak / n_procs) if n_procs else 0,
+        "mem_rss_peak_mb": _rss_peak_mb(),
     }
 
 
@@ -211,7 +264,9 @@ def run_suite(mode: str, repeats: int = 3) -> Dict[str, Dict[str, Any]]:
         print(
             f"  {name:<20s} {out[name]['events_per_sec']:>12,.0f} ev/s   "
             f"{out[name]['host_seconds'] * 1e3:>8.1f} ms   "
-            f"{out[name]['events']:>9,d} events"
+            f"{out[name]['events']:>9,d} events   "
+            f"{out[name]['mem_traced_peak_mb']:>7.1f} MB peak   "
+            f"{out[name]['mem_bytes_per_proc']:>7,d} B/proc"
         )
     return out
 
@@ -229,13 +284,16 @@ def main(argv=None) -> int:
     ap.add_argument("--paper", action="store_true", help="256-rank paper-scale smoke")
     ap.add_argument("--scale", action="store_true", help="1024-rank nightly-scale smoke")
     ap.add_argument("--scale4k", action="store_true", help="4096-rank nightly-scale smoke")
+    ap.add_argument("--scale8k", action="store_true", help="8192-rank nightly-scale smoke")
     ap.add_argument("--check", action="store_true", help="fail on >20%% ev/s regression")
     ap.add_argument("--update", action="store_true", help="rewrite the 'current' snapshot")
     ap.add_argument("--baseline", metavar="LABEL", help="record this run as 'baseline'")
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args(argv)
 
-    exclusive = [flag for flag in ("quick", "paper", "scale", "scale4k") if getattr(args, flag)]
+    exclusive = [
+        flag for flag in ("quick", "paper", "scale", "scale4k", "scale8k") if getattr(args, flag)
+    ]
     if len(exclusive) > 1:
         ap.error("--" + " and --".join(exclusive) + " are mutually exclusive")
     mode = exclusive[0] if exclusive else "full"
@@ -289,6 +347,7 @@ def main(argv=None) -> int:
         # code and a wall of numbers.
         failed = []
         missing = []
+        mem_warned = []
         header = (
             f"  {'workload':<22s} {'fresh ev/s':>12s} {'committed':>12s} "
             f"{'delta':>8s} {'floor':>12s}  verdict"
@@ -316,6 +375,21 @@ def main(argv=None) -> int:
             )
             if not ok:
                 failed.append(name)
+            # Advisory memory gate: the new columns must not rot silently,
+            # but allocator/host variance should never block a PR — warn
+            # on >15% peak growth, gate nothing.
+            ref_mem = ref.get("mem_traced_peak_mb")
+            fresh_mem = res.get("mem_traced_peak_mb")
+            if ref_mem and fresh_mem and fresh_mem > ref_mem * (1.0 + MEM_TOLERANCE):
+                mem_warned.append((name, fresh_mem, ref_mem))
+        for name, fresh_mem, ref_mem in mem_warned:
+            print(
+                f"WARNING: {name}: traced peak memory {fresh_mem:.1f} MB is "
+                f"{fresh_mem / ref_mem - 1.0:+.0%} vs committed {ref_mem:.1f} MB "
+                f"(> {MEM_TOLERANCE:.0%} — advisory only, not gating; refresh with "
+                f"--update if intentional)",
+                file=sys.stderr,
+            )
         if missing:
             print(
                 f"bench --check: workload(s) missing from the committed {mode!r} "

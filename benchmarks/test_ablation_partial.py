@@ -11,7 +11,7 @@ import numpy as np
 
 from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
-from repro.harness.report import render_table
+from repro.harness.report import render_table, strand_site_rows
 from repro.harness.runner import Job, cluster_for
 
 #: rank-scale knob: 16 ranks by default, 256 under REPRO_SCALE=paper
@@ -95,6 +95,12 @@ def test_partial_survivability_boundary(benchmark):
         return job.run()
 
     res = run_once(benchmark, run)
+    sheader, srows = strand_site_rows([("crash replicated r1", res.stranded_by_site)])
+    print()
+    print(render_table(
+        "Survivability boundary — frames/envs stranded per fail-stop mechanism",
+        sheader, srows,
+    ))
     record(benchmark, survivors=len(res.app_results))
     assert len(res.app_results) == 5  # 4 ranks + rank0's replica; victim gone
     assert len(set(res.app_results.values())) == 1

@@ -12,7 +12,7 @@ import numpy as np
 from benchmarks.conftest import record, run_once
 from repro.core.config import ReplicationConfig
 from repro.core.recovery import RecoveryManager
-from repro.harness.report import render_table
+from repro.harness.report import render_table, strand_site_rows
 from repro.harness.runner import Job, cluster_for
 
 
@@ -70,6 +70,15 @@ def test_fig3_crash(benchmark):
         ["run", "runtime ms", "slowdown %", "resends", "dups dropped"],
         rows,
     ))
+    sheader, srows = strand_site_rows([
+        ("failure-free", clean.stranded_by_site),
+        ("crash p^1_1", crashed.stranded_by_site),
+    ])
+    print()
+    print(render_table(
+        "Fig. 3 strand attribution — frames/envs per fail-stop mechanism",
+        sheader, srows,
+    ))
     record(benchmark, clean_ms=clean.runtime * 1e3, crashed_ms=crashed.runtime * 1e3,
            slowdown_pct=slowdown, resends=crashed.stat_total("resends"))
     # correctness: all survivors agree with the failure-free result
@@ -98,6 +107,11 @@ def test_fig4_recovery(benchmark):
     print(f"\nrespawned: {manager.respawns_done}; "
           f"resends: {res.stat_total('resends')}, "
           f"duplicates dropped: {res.stat_total('duplicates_dropped')}")
+    sheader, srows = strand_site_rows([("crash + respawn", res.stranded_by_site)])
+    print(render_table(
+        "Fig. 4 strand attribution — frames/envs per fail-stop mechanism",
+        sheader, srows,
+    ))
     record(benchmark, respawns=len(manager.respawns_done),
            resends=res.stat_total("resends"),
            duplicates=res.stat_total("duplicates_dropped"))

@@ -23,7 +23,10 @@ contract, per entry point:
   the moment it returns.  Handlers copy out the fields they need; to hold
   the whole message past the handler, call ``env.retain()`` (balanced later
   by ``pml.release_env(env)``) or take an arena-independent snapshot with
-  ``env.copy()`` → :class:`~repro.mpi.pml.MessageView`.
+  ``env.copy()`` → :class:`~repro.mpi.pml.MessageView`.  When the runtime
+  guard is enabled, :func:`guard_hook` audits the retain discipline: a
+  hook whose retain is never balanced is named at end of run
+  (``unbalanced_retain`` strand site) instead of leaking anonymously.
 * ``incoming_filter(env)`` — ownership **transfers** to the filter when it
   returns False: the filter must hand the envelope to
   ``pml.deliver_to_matching`` (now or later — reorder buffers hold
@@ -67,6 +70,7 @@ __all__ = [
     "filter_guard_enabled",
     "set_filter_guard",
     "guard_incoming_filter",
+    "guard_hook",
 ]
 
 #: runtime ownership guard for ``incoming_filter`` implementations (see
@@ -143,6 +147,51 @@ def guard_incoming_filter(
             raise
         pending.discard(token)
         return deliver
+
+    guarded.__wrapped__ = fn
+    return guarded
+
+
+#: env argument position per hook event: ``on_match(recv, env)`` vs
+#: ``on_recv_complete(env, recv)``
+_HOOK_ENV_INDEX = {"on_match": 1, "on_recv_complete": 0}
+
+
+def guard_hook(pml: "Pml", fn: Callable[..., Any], kind: str) -> Callable[..., Generator]:
+    """Wrap an ``on_match``/``on_recv_complete`` hook in retain accounting.
+
+    Hooks receive the envelope as a *borrow*; ``env.retain()`` is the
+    escape hatch, balanced later by ``pml.release_env``.  A hook that
+    retains and forgets the release leaks silently — the shell never
+    returns to the arena, and the end-of-run imbalance carries no clue
+    about who held it.  This wrapper extends the ``incoming_filter``
+    guard's token discipline to the hook surface: it snapshots the
+    envelope's refcount around the hook invocation, and a net increase
+    records the (envelope, hook) pair in the PML's retain ledger.  The
+    ledger entry is cleared when the envelope finally recycles (the
+    balancing release arrived, in whatever order); entries still present
+    at end of run are stranded at the ``unbalanced_retain`` site and
+    re-raised by the harness naming the hook —
+    :meth:`repro.mpi.pml.Pml.reap_retain_ledger`.
+
+    Installed automatically at ``pml.on_match.append(...)`` /
+    ``pml.on_recv_complete.append(...)`` when :func:`filter_guard_enabled`
+    is true (hook lists wrap at append time, like filters at assignment).
+    """
+    env_index = _HOOK_ENV_INDEX[kind]
+    hook_name = getattr(fn, "__qualname__", repr(fn))
+
+    def guarded(*args: Any) -> Generator:
+        env = args[env_index]
+        before = env._refs
+        result = fn(*args)
+        if result is not None:
+            yield from result
+        if env._refs > before:
+            ledger = pml._retain_ledger
+            if ledger is None:
+                ledger = pml._retain_ledger = {}
+            ledger[id(env)] = (env, hook_name)
 
     guarded.__wrapped__ = fn
     return guarded

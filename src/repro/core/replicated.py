@@ -92,6 +92,8 @@ class ReplicatedBase(BaseProtocol):
         "_expected",
         "_reorder",
         "duplicates_dropped",
+        "suspicions_seen",
+        "suspicion_clears_seen",
     )
 
     def __init__(
@@ -119,8 +121,12 @@ class ReplicatedBase(BaseProtocol):
         #: lazy — crash-free single-channel traffic never reorders
         self._reorder: Optional[Dict[int, Dict[int, Envelope]]] = None
         self.duplicates_dropped = 0
+        self.suspicions_seen = 0
+        self.suspicion_clears_seen = 0
         pml.incoming_filter = self._filter_incoming
         pml.svc_handlers["failure"] = self._svc_failure
+        pml.svc_handlers["suspect"] = self._svc_suspect
+        pml.svc_handlers["clear"] = self._svc_clear
 
     # --------------------------------------------------------- receive side
     def _filter_incoming(self, env: Envelope) -> Generator[Any, Any, bool]:
@@ -198,6 +204,31 @@ class ReplicatedBase(BaseProtocol):
     def on_failure(self, failed: int) -> Generator:
         yield from ()
 
+    # ------------------------------------------------------------- suspicion
+    def _svc_suspect(self, suspect: int) -> Generator:
+        self.suspicions_seen += 1
+        yield from self.on_suspicion(suspect)
+
+    def _svc_clear(self, suspect: int) -> Generator:
+        self.suspicion_clears_seen += 1
+        yield from self.on_suspicion_cleared(suspect)
+
+    def on_suspicion(self, suspect: int) -> Generator:
+        """An imperfect detector reported *suspect* — which may be alive.
+
+        The default is advisory (count, change nothing): correctness never
+        depends on suspicion, only on the definitive failure notification.
+        Protocols with per-message retention (SDR, leader) override this to
+        fail over speculatively — and must implement the reversal in
+        :meth:`on_suspicion_cleared`.  Mirror/redMPI have no retention to
+        replay from, so reacting would wedge a false positive; they stay
+        advisory by design.
+        """
+        yield from ()
+
+    def on_suspicion_cleared(self, suspect: int) -> Generator:
+        yield from ()
+
     # --------------------------------------------------------------- teardown
     def reap(self) -> int:
         """End-of-run teardown: release envelopes parked in the reorder
@@ -225,4 +256,6 @@ class ReplicatedBase(BaseProtocol):
     def stats(self) -> dict:
         base = super().stats()
         base["duplicates_dropped"] = self.duplicates_dropped
+        base["suspicions_seen"] = self.suspicions_seen
+        base["suspicion_clears_seen"] = self.suspicion_clears_seen
         return base

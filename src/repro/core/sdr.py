@@ -99,6 +99,8 @@ class SdrProtocol(ReplicatedBase):
         "acks_received",
         "resends",
         "failovers_handled",
+        "_suspended",
+        "speculative_failovers",
     )
 
     def __init__(
@@ -126,11 +128,16 @@ class SdrProtocol(ReplicatedBase):
         self._early_acks: Optional[Dict[Tuple[int, int], Set[int]]] = None
         #: recovery manager callback (installed by the harness when enabled)
         self.recovery_hook = None
+        #: per-suspect reversal state for speculative failovers (lazy — a
+        #: run without false suspicions never materializes it); see
+        #: :meth:`on_suspicion`
+        self._suspended: Optional[Dict[int, dict]] = None
         # metrics
         self.acks_sent = 0
         self.acks_received = 0
         self.resends = 0
         self.failovers_handled = 0
+        self.speculative_failovers = 0
         pml.ctrl_handlers[ACK] = self._on_ack
         pml.ctrl_handlers[RECOVERED] = self._on_recovered
         pml.on_recv_complete.append(self._ack_on_recv_complete)
@@ -198,6 +205,9 @@ class SdrProtocol(ReplicatedBase):
                 handle.needs_ack.add(ph)
                 if ack_post > 0:
                     yield ack_post
+        suspended = self._suspended
+        if suspended and handle.needs_ack:
+            self._forgive_suspects(handle, suspended)
         early_acks = self._early_acks
         early = early_acks.pop((world_dst, seq), None) if early_acks else None
         if early:
@@ -205,6 +215,23 @@ class SdrProtocol(ReplicatedBase):
         if handle.needs_ack:
             self.retention[(world_dst, seq)] = handle
         return handle
+
+    def _forgive_suspects(self, handle: SdrSendHandle, suspended: Dict[int, dict]) -> None:
+        """A suspected replica cannot be waited on: drop it from the ack
+        gate so sends complete, and — when the suspect would have been my
+        pairwise destination — park the handle for replay at clear time
+        (the suspect missed the physical copy my pair-send would have
+        carried).  Suspects of other replica indices get the message from
+        their own pair once its backlog replays; only the forgiveness is
+        needed there."""
+        n_ranks = self.shared.n_ranks
+        for s in list(handle.needs_ack):
+            snap = suspended.get(s)
+            if snap is None:
+                continue
+            handle.needs_ack.discard(s)
+            if s // n_ranks == self.rep:  # rmap.rep_of, replica-major
+                snap["backlog"].append(handle)
 
     # ------------------------------------------------------------------ recv
     def app_irecv(self, ctx, source, tag, buf=None) -> Generator[Any, Any, RecvHandle]:
@@ -353,6 +380,118 @@ class SdrProtocol(ReplicatedBase):
             # matching is keyed on logical ranks, so the substitute's
             # messages match the already-posted receive requests.
 
+    # ------------------------------------------------------------- suspicion
+    def on_suspicion(self, suspect: int) -> Generator:
+        """Speculative failover: treat a suspected-but-alive replica as
+        failed *reversibly*.
+
+        The full Algorithm 1 failover runs (substitute adoption, retained
+        resends, ack forgiveness) so the job keeps progressing at detection
+        speed — but everything needed to hand the suspect its missed
+        traffic back is snapshotted first: which coverage the substitute
+        map held, whether the suspect was my pairwise destination, and
+        every retained handle whose physical copy the suspect will miss.
+        :meth:`on_suspicion_cleared` replays from that snapshot; the
+        per-channel dedup filter absorbs anything the suspect did receive.
+        """
+        if suspect == self.pml.proc or not self.membership.is_alive(suspect):
+            yield from ()
+            return
+        suspended = self._suspended
+        if suspended is None:
+            suspended = self._suspended = {}
+        if suspect in suspended:
+            return
+        rank_f = self.rmap.rank_of(suspect)
+        rep_f = self.rmap.rep_of(suspect)
+        snap: dict = {
+            "backlog": [],
+            "covered": [],
+            "sub": rep_f,
+            "had_in_dests": False,
+            "physical_src": self.physical_src.get(rank_f),
+        }
+        if self.rank == rank_f:
+            snap["covered"] = [rep_l for rep_l, s in self.substitute.items() if s == rep_f]
+        else:
+            snap["had_in_dests"] = suspect in self.dests_for(rank_f)
+            if rep_f == self.rep:
+                # The suspect is my pairwise destination: every message to
+                # its rank that is still retained may have been cancelled
+                # mid-flight by the failover below — park them all, the
+                # suspect's dedup filter drops the ones it already has.
+                for (j, _seq), handle in list(self.retention.items()):
+                    if j == rank_f:
+                        snap["backlog"].append(handle)
+        suspended[suspect] = snap
+        self.speculative_failovers += 1
+        yield from self.on_failure(suspect)
+        if self.rank == rank_f:
+            snap["sub"] = self.substitute.get(rep_f, rep_f)
+
+    def on_suspicion_cleared(self, suspect: int) -> Generator:
+        """Reverse a speculative failover: the suspect was alive all along.
+
+        Restores the substitute identity (handing adopted receivers back),
+        resumes the pairwise send pattern, and replays — in sequence order
+        — every parked handle the suspect missed while it was written off.
+        """
+        suspended = self._suspended
+        snap = suspended.pop(suspect, None) if suspended else None
+        if snap is None:
+            yield from ()
+            return
+        if not self.membership.is_alive(suspect):
+            return  # died while suspected: the definitive failure path governs
+        rank_f = self.rmap.rank_of(suspect)
+        rep_f = self.rmap.rep_of(suspect)
+        if self.rank == rank_f:
+            sub = snap["sub"]
+            restored = False
+            for rep_l in snap["covered"]:
+                if self.substitute.get(rep_l) == sub:
+                    self.substitute[rep_l] = rep_f
+                    restored = True
+            if restored and sub == self.rep and sub != rep_f:
+                # I adopted the suspect's receivers speculatively (lines
+                # 21-25) — hand them back, exactly as after a recovery.
+                for j in range(self.rmap.n_ranks):
+                    dests = self.physical_dests.get(j)
+                    if not dests:
+                        continue
+                    my_pair = self.rmap.phys(j, self.rep)
+                    for rep_l in snap["covered"]:
+                        ph = self.rmap.phys(j, rep_l)
+                        if ph in dests and ph != my_pair:
+                            dests.remove(ph)
+            return
+        # Peer of another rank: resume the pairwise pattern...
+        if snap["physical_src"] is None:
+            self.physical_src.pop(rank_f, None)
+        else:
+            self.physical_src[rank_f] = snap["physical_src"]
+        if snap["had_in_dests"]:
+            dests = self.dests_for(rank_f)
+            if suspect not in dests:
+                dests.append(suspect)
+        # ... and replay what the suspect missed, in send order (its
+        # in-order filter dedups whatever did get through before the
+        # speculative cancel).
+        for handle in snap["backlog"]:
+            self.resends += 1
+            req = yield from self.pml.isend(
+                ctx=handle.ctx,
+                src_rank=handle.src_rank,
+                tag=handle.tag,
+                data=handle.payload,
+                world_src=self.rank,
+                world_dst=handle.world_dst,
+                seq=handle.seq,
+                dst_phys=suspect,
+                already_copied=True,
+            )
+            handle.pml_reqs.append(req)
+
     # -------------------------------------------------------------- recovery
     def recovery_point(self) -> Generator:
         """Application-declared safe point for a pending respawn (§3.4).
@@ -461,5 +600,6 @@ class SdrProtocol(ReplicatedBase):
             resends=self.resends,
             retained=len(self.retention),
             failovers_handled=self.failovers_handled,
+            speculative_failovers=self.speculative_failovers,
         )
         return base

@@ -7,6 +7,7 @@ Examples::
     sdr-mpi table1 --app CG          # one row
     sdr-mpi table2                   # HPCCG + CM1
     sdr-mpi determinism --app hpccg  # send-determinism check
+    sdr-mpi campaign --seeds 10      # seeded fault campaign, all protocols
     REPRO_SCALE=paper sdr-mpi table1 # the paper's exact configuration
 
 (Also runnable as ``python -m repro <command>``.)
@@ -110,6 +111,29 @@ def _cmd_determinism(args) -> int:
     return 0 if report or args.app == "master_worker" else 1
 
 
+def _cmd_campaign(args) -> int:
+    from repro.harness.campaign import DEFAULT_PROTOCOLS, run_campaign
+
+    protocols = tuple(args.protocols) if args.protocols else DEFAULT_PROTOCOLS
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    result = run_campaign(protocols=protocols, seeds=seeds)
+    print(result.table(
+        f"Fault campaign — {len(seeds)} seeded mixes x {len(protocols)} protocols "
+        f"(seeds {seeds.start}..{seeds.stop - 1})"
+    ))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"\nwrote {len(result.records)} run records to {args.json}", file=sys.stderr)
+    violations = result.violations
+    for rec in violations:
+        print(
+            f"INVARIANT VIOLATION: {rec.protocol} seed {rec.seed}: {rec.invariant_error}",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="sdr-mpi", description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -129,6 +153,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--app", choices=["HPCCG", "CM1"])
     p.add_argument("--protocol", default="sdr", choices=["sdr", "mirror", "leader", "redmpi"])
     p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser(
+        "campaign", help="seeded fault campaign with audited degradation taxonomy"
+    )
+    p.add_argument(
+        "--protocols", nargs="*",
+        choices=["native", "sdr", "mirror", "leader", "redmpi"],
+        help="protocols to campaign (default: all five)",
+    )
+    p.add_argument("--seeds", type=int, default=5, help="number of seeded fault mixes")
+    p.add_argument("--seed-base", type=int, default=0, help="first campaign seed")
+    p.add_argument("--json", metavar="PATH", help="write per-run records as JSON")
+    p.set_defaults(fn=_cmd_campaign)
 
     p = sub.add_parser("determinism", help="send-determinism check (Definition 1)")
     p.add_argument("--app", default="hpccg")

@@ -13,6 +13,7 @@ __all__ = [
     "render_table",
     "render_series",
     "overhead_row",
+    "strand_site_rows",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_FIG7_POINTS",
@@ -69,6 +70,41 @@ def overhead_row(
     if paper is not None:
         row += [f"{paper[0]:.2f}", f"{paper[1]:.2f}", f"{paper[2]:.2f}"]
     return row
+
+
+def strand_site_rows(
+    labelled: Sequence[Tuple[str, Mapping[str, Mapping[str, int]]]],
+) -> Tuple[List[str], List[List[object]]]:
+    """Header + rows for per-mechanism strand attribution columns.
+
+    Takes ``(run label, JobResult.stranded_by_site)`` pairs and builds one
+    row per run with a ``frames/envs`` cell per strand site observed
+    anywhere in the set, so fault experiments report *which* fail-stop
+    mechanism stranded what (``dead_endpoint``, ``inbox_clear``,
+    ``link_drop``, ...) instead of one opaque total.  Feed the result to
+    :func:`render_table`.
+    """
+    sites = sorted(
+        {
+            site
+            for _label, by_site in labelled
+            for site, cell in by_site.items()
+            if cell.get("frames", 0) or cell.get("envs", 0)
+        }
+    )
+    header = ["run", *sites, "total f/e"]
+    rows: List[List[object]] = []
+    for label, by_site in labelled:
+        cells: List[object] = []
+        total_f = total_e = 0
+        for site in sites:
+            cell = by_site.get(site, {})
+            f, e = cell.get("frames", 0), cell.get("envs", 0)
+            total_f += f
+            total_e += e
+            cells.append(f"{f}/{e}" if (f or e) else "-")
+        rows.append([label, *cells, f"{total_f}/{total_e}"])
+    return header, rows
 
 
 def render_series(

@@ -20,7 +20,7 @@ from repro.core.baselines import LeaderProtocol, MirrorProtocol, RedMpiProtocol
 from repro.core.config import ReplicationConfig
 from repro.core.interpose import NativeProtocol
 from repro.core.io import NativeIo, ReplicatedIo, VirtualFileSystem
-from repro.core.membership import MembershipService
+from repro.core.membership import DetectorConfig, MembershipService
 from repro.core.replicated import ProtocolShared
 from repro.core.sdr import SdrProtocol
 from repro.core.worlds import ReplicaMap
@@ -28,7 +28,8 @@ from repro.mpi.api import MpiProcess
 from repro.mpi.comm import shared_world
 from repro.mpi.errors import DeadlockError, MpiError
 from repro.mpi.pml import Pml
-from repro.network.fabric import Fabric
+from repro.network.fabric import Fabric, Frame
+from repro.network.model import FaultPlan
 from repro.network.topology import (
     Cluster,
     Placement,
@@ -99,6 +100,8 @@ class Job:
         pooling: bool = True,
         bucketed: bool = True,
         shared_state: bool = True,
+        detector: Optional[DetectorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
         self.n_ranks = n_ranks
@@ -130,8 +133,19 @@ class Job:
         self._world_shared = shared_world(n_ranks) if shared_state else None
         self.fabric = Fabric(self.sim, self.placement, jitter=jitter)
         self.fabric.pool_frames = pooling
+        if fault_plan is not None:
+            # Seeded network adversary (drops/dups/delay windows/partitions);
+            # a dedicated rng stream keeps fault draws independent of jitter
+            # and compute noise.  None — the default — leaves the wire
+            # byte-identical to the reliable fabric.
+            self.fabric.install_faults(fault_plan, self.rng.stream("net.faults"))
         self.membership = MembershipService(
-            self.sim, self.fabric, self.rmap, detection_delay=self.cfg.detection_delay
+            self.sim,
+            self.fabric,
+            self.rmap,
+            detection_delay=self.cfg.detection_delay,
+            detector=detector,
+            rng=self.rng.stream("membership") if detector is not None else None,
         )
         #: one read-only protocol config shared by every replica stack
         #: (``shared_state=False`` → None → each protocol builds its own)
@@ -295,8 +309,23 @@ class Job:
         self.sim.call_at(at, do_crash)
         return self
 
-    def run(self, until: Optional[float] = None, allow_lost_ranks: bool = False) -> JobResult:
-        """Run to completion; detects deadlock and lost ranks."""
+    def run(
+        self,
+        until: Optional[float] = None,
+        allow_lost_ranks: bool = False,
+        audit: Optional[bool] = None,
+    ) -> JobResult:
+        """Run to completion; detects deadlock and lost ranks.
+
+        *audit* controls the end-of-run arena-balance proof.  The default
+        (``None``) keeps the historical behaviour: audit exactly when the
+        job runs to completion (``until is None``).  Campaigns pass
+        ``audit=True`` with a horizon — a wedged (deadlocked/partitioned)
+        run is audited too, after stranding whatever was still in flight
+        at the horizon (see :meth:`audit`).
+        """
+        if audit is None:
+            audit = until is None
         self.sim.run(until=until)
         # Filter-guard violations surface on *every* exit path — a wedged
         # run (deadlock, lost ranks) is exactly where an unguarded filter
@@ -319,8 +348,8 @@ class Job:
                 raise DeadlockError(blocked)
         if lost and not allow_lost_ranks:
             raise MpiError(f"application lost ranks {lost}: every replica failed")
-        if until is None:
-            self._assert_arenas_balanced()
+        if audit:
+            self.audit()
         finished = [t for p, t in self.finish_times.items()]
         return JobResult(
             runtime=max(finished) if finished else self.sim.now,
@@ -338,14 +367,42 @@ class Job:
             stranded_by_site=self._strand_attribution(),
         )
 
+    def audit(self) -> None:
+        """Machine-check the zero-leak contract on this run, whatever state
+        it stopped in: strand anything still in flight at the stop time,
+        then assert ``acquired == released + stranded`` for both arenas.
+        Also callable directly by campaign drivers after a run that raised
+        (a failed run must still balance its books).
+        """
+        self._strand_in_flight()
+        self._assert_arenas_balanced()
+
+    def _strand_in_flight(self) -> None:
+        """Strand frames still sitting in the kernel queue at the horizon.
+
+        A job stopped at ``until`` leaves undelivered frames (and their
+        envelopes) on the heap — nobody will ever release them, so the
+        balance proof attributes them to the ``in_flight`` site.  Safe
+        only once the run is over: a stranded frame must not fire.
+        """
+        sim = self.sim
+        fab = self.fabric
+        for _t, _seq, ev in sim._queue:
+            if type(ev) is Frame and ev.fabric is not None:
+                fab.strand_frame(ev, "in_flight")
+        for ev in sim._bucket:
+            if type(ev) is Frame and ev.fabric is not None:
+                fab.strand_frame(ev, "in_flight")
+
     def _check_guard_violations(self) -> None:
-        """Re-raise any incoming_filter ownership violations the runtime
-        guard recorded (see :func:`repro.core.interpose.guard_incoming_filter`)."""
+        """Re-raise any ownership violations the runtime guard recorded —
+        incoming_filter strands (:func:`repro.core.interpose.guard_incoming_filter`)
+        and unbalanced hook retains (:func:`repro.core.interpose.guard_hook`)."""
         pmls = list(self.pmls.values()) + [pml for pml, _proto in self._retired_stacks]
         violations = [v for pml in pmls for v in (pml.guard_violations or ())]
         if violations:
             raise AssertionError(
-                "incoming_filter ownership violations (REPRO_FILTER_GUARD):\n  "
+                "envelope ownership violations (REPRO_FILTER_GUARD):\n  "
                 + "\n  ".join(violations)
             )
 
@@ -410,6 +467,12 @@ class Job:
             retired += pml.reap() or 0
             reap_sites["retired_stack"] += retired
         stacks = live + self._retired_stacks
+        # Hook-retain audit (runtime ownership guard): unbalanced
+        # Envelope.retain() calls are stranded at ``unbalanced_retain``
+        # and recorded as violations — after the reaps above, so protocol
+        # teardowns that release their retains have already cleared them.
+        for pml, _proto in stacks:
+            pml.reap_retain_ledger()
         self._check_guard_violations()
         fab = self.fabric
         frames_closed = fab.frames_released + fab.frames_stranded
@@ -421,7 +484,10 @@ class Job:
                 f"({fab.frames_acquired - frames_closed} unaccounted)"
             )
         pmls = [pml for pml, _proto in stacks]
-        env_acquired = sum(p.env_acquired for p in pmls)
+        # Link duplication mints envelopes without an acquire_env — they
+        # enter on the acquired side so each clone still needs a release
+        # or an accounted strand of its own.
+        env_acquired = sum(p.env_acquired for p in pmls) + fab.envs_duplicated
         env_released = sum(p.env_released for p in pmls)
         env_stranded = sum(p.env_stranded for p in pmls) + fab.envs_stranded
         if env_acquired != env_released + env_stranded:

@@ -289,6 +289,33 @@ class PmlRecvRequest:
 HookFn = Callable[..., Optional[Generator]]
 
 
+class _HookList(list):
+    """Hook registry for one interposition event (``on_match`` /
+    ``on_recv_complete``).
+
+    A plain list everywhere it matters (the firing loops iterate it
+    directly), except that :meth:`append` — the only registration path the
+    protocols use — wraps the hook in the retain-accounting guard
+    (:func:`repro.core.interpose.guard_hook`) when the runtime ownership
+    guard is enabled, mirroring how ``incoming_filter`` wraps at
+    assignment time.
+    """
+
+    __slots__ = ("_pml", "_kind")
+
+    def __init__(self, pml: "Pml", kind: str) -> None:
+        super().__init__()
+        self._pml = pml
+        self._kind = kind
+
+    def append(self, fn: HookFn) -> None:
+        from repro.core.interpose import filter_guard_enabled, guard_hook
+
+        if filter_guard_enabled():
+            fn = guard_hook(self._pml, fn, self._kind)
+        super().append(fn)
+
+
 class Pml:
     """Per-physical-process point-to-point layer.
 
@@ -327,6 +354,7 @@ class Pml:
         "_recv_row",
         "_release_frame",
         "_guard_pending",
+        "_retain_ledger",
         "guard_violations",
         "sends_posted",
         "recvs_posted",
@@ -343,9 +371,10 @@ class Pml:
         # workloads (every small-message tier) never touch it
         self._rdv_sends: Optional[Dict[int, Tuple[PmlSendRequest, Envelope]]] = None
         self._rdv_recvs: Optional[Dict[Tuple[int, int], PmlRecvRequest]] = None
-        # interposition surface
-        self.on_match: List[HookFn] = []
-        self.on_recv_complete: List[HookFn] = []
+        # interposition surface (hook lists wrap appends in the retain
+        # guard when the runtime ownership guard is enabled)
+        self.on_match: List[HookFn] = _HookList(self, "on_match")
+        self.on_recv_complete: List[HookFn] = _HookList(self, "on_recv_complete")
         #: see the ``incoming_filter`` property
         self._incoming_filter: Optional[Callable[[Envelope], Generator]] = None
         #: ctrl envelopes are recycled the moment a handler returns —
@@ -392,6 +421,11 @@ class Pml:
         #: filter-guard bookkeeping (see the ``incoming_filter`` property);
         #: ``None`` unless the debug guard is enabled
         self._guard_pending: Optional[set] = None
+        #: hook-retain ledger: {id(env): (env, hook_name)} for envelopes a
+        #: guarded hook retained and has not yet balanced with a release —
+        #: ``None`` unless the debug guard recorded one (see
+        #: :meth:`reap_retain_ledger`)
+        self._retain_ledger: Optional[Dict[int, Tuple[Envelope, str]]] = None
         #: ownership-contract violations the guard recorded; re-raised in
         #: the harness teardown because crash unwinding swallows cleanup
         #: errors (``Process.crash``: the crash wins)
@@ -521,6 +555,10 @@ class Pml:
         if refs > 1:
             env._refs = refs - 1
             return
+        ledger = self._retain_ledger
+        if ledger is not None:
+            # Last reference dropped: any hook retain was balanced.
+            ledger.pop(id(env), None)
         self.env_released += 1
         env.ctx = None
         env.data = None
@@ -547,6 +585,9 @@ class Pml:
         if refs > 1:
             env._refs = refs - 1
             return
+        ledger = self._retain_ledger
+        if ledger is not None:
+            ledger.pop(id(env), None)
         self.env_stranded += 1
         by_site = self.env_stranded_by_site
         if by_site is None:
@@ -865,6 +906,8 @@ class Pml:
             if env._refs > 1:
                 env._refs -= 1
             else:
+                if self._retain_ledger is not None:
+                    self._retain_ledger.pop(id(env), None)
                 self.env_released += 1
                 env.ctx = None
                 env.data = None
@@ -936,6 +979,8 @@ class Pml:
                 if env._refs > 1:
                     env._refs -= 1
                 else:
+                    if self._retain_ledger is not None:
+                        self._retain_ledger.pop(id(env), None)
                     self.env_released += 1
                     env.ctx = None
                     env.data = None
@@ -986,6 +1031,8 @@ class Pml:
             if env._refs > 1:
                 env._refs -= 1
             else:
+                if self._retain_ledger is not None:
+                    self._retain_ledger.pop(id(env), None)
                 self.env_released += 1
                 env.ctx = None
                 env.data = None
@@ -1155,4 +1202,40 @@ class Pml:
             for _req, env in rdv.values():
                 self.release_env(env)
             rdv.clear()
+        return reaped
+
+    def reap_retain_ledger(self) -> int:
+        """Strand every hook retain that was never balanced — loudly.
+
+        Runs after the protocol/PML reaps (a protocol whose teardown
+        releases its retains clears its ledger entries on the way).
+        Whatever is still here is a hook that called ``env.retain()`` and
+        forgot the balancing :meth:`release_env`: the outstanding
+        references are dropped so the arena balance stays provable
+        (``unbalanced_retain`` strand site), and a violation naming the
+        hook is recorded for the harness to raise.  Only populated when
+        the runtime ownership guard wrapped the hooks
+        (:func:`repro.core.interpose.guard_hook`).
+        """
+        ledger = self._retain_ledger
+        if not ledger:
+            return 0
+        violations = self.guard_violations
+        if violations is None:
+            violations = self.guard_violations = []
+        reaped = 0
+        for env, hook_name in list(ledger.values()):
+            violations.append(
+                f"hook {hook_name!r} on proc {self.proc} retained an envelope "
+                f"(kind={env.kind!r}, seq={env.seq}) without the balancing "
+                "pml.release_env — every Envelope.retain() must be released "
+                "(see the ownership contract in repro.core.interpose)"
+            )
+            # Drop every outstanding reference; the terminal strand pops
+            # the ledger entry itself.
+            while env._refs > 1:
+                env._refs -= 1
+            self.strand_env(env, "unbalanced_retain")
+            reaped += 1
+        ledger.clear()
         return reaped

@@ -366,6 +366,19 @@ class Fabric:
         self.total_frames = 0
         self.total_bytes = 0
         self.frames_by_kind: Dict[str, int] = {}
+        #: seeded adversary (see :meth:`install_faults`); ``None`` — the
+        #: default — keeps :meth:`inject` byte-identical to the reliable
+        #: wire (one predictable-branch check per frame)
+        self._faults: Optional[_FaultRuntime] = None
+        #: envelopes *created* by link duplication: they enter the arena
+        #: without an acquire_env, so the balance proof counts them on the
+        #: acquired side (acquired + duplicated == released + stranded)
+        self.envs_duplicated = 0
+        #: fault observability: frames dropped / cloned / delay-spiked by
+        #: the fault runtime (drops are also attributed per strand site)
+        self.fault_drops = 0
+        self.fault_dups = 0
+        self.fault_delays = 0
 
     # ----------------------------------------------------------- attachment
     def endpoint(self, proc: int) -> Endpoint:
@@ -486,11 +499,28 @@ class Fabric:
             "frames_released": self.frames_released,
             "frames_stranded": self.frames_stranded,
             "envs_stranded": self.envs_stranded,
+            "envs_duplicated": self.envs_duplicated,
+            "fault_drops": self.fault_drops,
+            "fault_dups": self.fault_dups,
+            "fault_delays": self.fault_delays,
             "strands_by_site": {k: tuple(v) for k, v in self.strands_by_site.items()},
             "frame_pool_size": len(self._frame_pool),
             "total_frames": self.total_frames,
             "total_bytes": self.total_bytes,
         }
+
+    def install_faults(self, plan, rng) -> None:
+        """Arm the seeded network adversary described by *plan*.
+
+        *plan* is a validated :class:`repro.network.model.FaultPlan`; *rng*
+        is a dedicated ``numpy.random.Generator`` (campaigns hand out one
+        named stream per concern, so arming faults never perturbs jitter or
+        fault-schedule draws).  An empty plan disarms — ``inject`` falls
+        back to the single ``_faults is None`` check and the wire is
+        byte-identical to the reliable default.
+        """
+        plan.validate()
+        self._faults = _FaultRuntime(plan, rng) if plan else None
 
     def inject(self, frame: Frame) -> float:
         """Put *frame* on the wire now.  Returns the arrival time.
@@ -507,6 +537,20 @@ class Fabric:
             # but the frame was acquired, so account the strand.
             self.strand_frame(frame, "dead_source")
             return self.sim._now
+        faults = self._faults
+        if faults is not None:
+            site, extra_delay, dup = faults.decide(frame, self.sim._now, self._node_of)
+            if site is not None:
+                # Lossy-wire drop site: the frame dies on the link, its
+                # envelope is stranded under the fault mechanism's name,
+                # and the sender is none the wiser (that is what the
+                # replication protocols are for).
+                self.fault_drops += 1
+                self.strand_frame(frame, site)
+                return self.sim._now
+        else:
+            extra_delay = 0.0
+            dup = False
         key = (src, dst)
         state = self._chan.get(key)
         if state is None:
@@ -540,6 +584,12 @@ class Fabric:
             jit = self._jitter()
             if jit > 0.0:
                 arrival += jit
+        if extra_delay > 0.0:
+            # Delay spike: added before the FIFO clamp below, so a spiked
+            # frame pushes the channel's arrival floor instead of being
+            # overtaken — degradation never breaks per-channel ordering.
+            self.fault_delays += 1
+            arrival += extra_delay
         # FIFO guarantee: serialization already enforces non-decreasing
         # arrivals per channel when jitter is zero; with jitter, clamp —
         # per ordered channel, covering the per-node-priced inter-node path.
@@ -562,7 +612,49 @@ class Fabric:
         else:
             # Zero-cost model: the frame arrives at the current time.
             sim._bucket.append(frame)
+        if dup:
+            self._inject_duplicate(frame)
         return arrival
+
+    def _inject_duplicate(self, frame: Frame) -> None:
+        """Clone *frame* and put the clone on the wire right behind it.
+
+        The clone carries a *fresh* envelope (same wire identity, shared
+        copy-on-write payload) so both copies can flow through the arena's
+        single-owner release discipline independently; it is counted in
+        :attr:`envs_duplicated` on the acquired side of the balance proof.
+        The fault runtime is disarmed around the nested inject so a
+        duplicate can never itself duplicate (or be dropped — one fault per
+        original frame keeps campaign accounting legible).  Non-envelope
+        payloads (raw-fabric tests, svc tuples) are never duplicated.
+        """
+        env = frame.payload
+        if frame.kind != "eager" or env is None or not isinstance(env, _envelope_class()):
+            return
+        clone = type(env)(
+            env.kind,
+            env.ctx,
+            env.src_rank,
+            env.tag,
+            env.world_src,
+            env.world_dst,
+            env.seq,
+            env.nbytes,
+            env.data,
+            env.src_phys,
+            env.dst_phys,
+            env.msg_id,
+            env.ctrl_key,
+        )
+        self.envs_duplicated += 1
+        self.fault_dups += 1
+        faults = self._faults
+        self._faults = None
+        try:
+            dup_frame = self.acquire_frame(frame.src, frame.dst, frame.size, clone, frame.kind)
+            self.inject(dup_frame)
+        finally:
+            self._faults = faults
 
     # --------------------------------------------------------------- faults
     def _strand_inbox(self, ep: Endpoint) -> None:
@@ -588,3 +680,73 @@ class Fabric:
         ep = self.endpoints[proc]
         ep.alive = True
         self._strand_inbox(ep)
+
+
+_ENVELOPE_CLASS: Optional[type] = None
+
+
+def _envelope_class() -> type:
+    """The PML's Envelope type, resolved lazily (pml imports fabric, so the
+    reverse import must happen at first duplication, never at module load)."""
+    global _ENVELOPE_CLASS
+    if _ENVELOPE_CLASS is None:
+        from repro.mpi.pml import Envelope
+
+        _ENVELOPE_CLASS = Envelope
+    return _ENVELOPE_CLASS
+
+
+class _FaultRuntime:
+    """Interprets a :class:`repro.network.model.FaultPlan` per injected frame.
+
+    One seeded generator drives every probabilistic decision; draws happen
+    in plan order (windows first-to-last, drop before dup per window), and
+    windows that cannot affect a frame (closed, filtered out, zero
+    probability) consume no draws — so adding a delay-only window to a plan
+    never reshuffles the drop pattern of the windows before it.
+
+    Duplication is drawn only for ``eager`` frames: eager messages are the
+    fire-and-forget kind the protocols' per-channel sequence dedup covers.
+    The rendezvous handshake (rts/cts/data) and protocol ctrl traffic are
+    per-``msg_id`` stateful — the wire model delivers them exactly-once,
+    while drops and partitions still apply to every kind (a dropped CTS is
+    precisely how a lossy link wedges a rendezvous).
+    """
+
+    __slots__ = ("windows", "partitions", "rng", "_group_of")
+
+    def __init__(self, plan, rng) -> None:
+        self.windows = tuple(plan.windows)
+        self.partitions = tuple(plan.partitions)
+        self.rng = rng
+        # node → group index per partition window (dict per window, built
+        # once; nodes absent from every group share implicit group -1)
+        self._group_of: List[Dict[int, int]] = [
+            {node: gi for gi, group in enumerate(p.groups) for node in group}
+            for p in self.partitions
+        ]
+
+    def decide(self, frame: Frame, now: float, node_of: List[int]) -> Tuple[Optional[str], float, bool]:
+        """(strand site | None, extra arrival delay, duplicate?) for *frame*."""
+        src_node = node_of[frame.src] if frame.src >= 0 else -1
+        dst_node = node_of[frame.dst]
+        if src_node != dst_node:
+            for p, group_of in zip(self.partitions, self._group_of):
+                if p.start <= now < p.end and group_of.get(src_node, -1) != group_of.get(dst_node, -1):
+                    return "partition", 0.0, False
+        delay = 0.0
+        dup = False
+        rng = self.rng
+        for w in self.windows:
+            if not (w.start <= now < w.end):
+                continue
+            if w.src_nodes is not None and src_node not in w.src_nodes:
+                continue
+            if w.dst_nodes is not None and dst_node not in w.dst_nodes:
+                continue
+            if w.drop_p > 0.0 and rng.random() < w.drop_p:
+                return "link_drop", 0.0, False
+            if not dup and w.dup_p > 0.0 and frame.kind == "eager" and rng.random() < w.dup_p:
+                dup = True
+            delay += w.delay
+        return None, delay, dup

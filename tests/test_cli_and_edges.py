@@ -30,6 +30,21 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_campaign_subcommand(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "campaign.json"
+        assert main([
+            "campaign", "--protocols", "native", "sdr", "--seeds", "2",
+            "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "deadlocked" in out  # taxonomy columns rendered
+        records = json.loads(artifact.read_text())
+        assert len(records) == 4  # 2 seeds x 2 protocols
+        assert all(r["invariant_error"] is None for r in records)
+
 
 class TestComputeNoise:
     def test_noise_stretches_compute(self):

@@ -1,0 +1,183 @@
+"""Imperfect failure detection: heartbeat declaration latency, unreliable
+notification delivery, and false-suspicion survival.
+
+``Job(detector=DetectorConfig(...))`` replaces the instant membership
+oracle with the analytic heartbeat detector: a crash at *t* is declared
+only at ``declare_at(t)`` (missed heartbeats + timeout), each per-target
+notification can be lost and is retried with backoff, and
+``inject_suspicion`` models false positives.  The paper assumes a perfect
+external detection service (§3.2); these tests measure what the protocols
+do when that assumption degrades — and prove every replicated protocol
+survives a suspected-but-alive replica.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.membership import DetectorConfig
+from repro.harness.faults import FaultSchedule
+from repro.harness.runner import Job, cluster_for
+
+REPLICATED = ("sdr", "mirror", "leader", "redmpi")
+
+#: fast-declaring detector so crashes resolve inside short workloads
+DET = DetectorConfig(
+    heartbeat_period=10e-6, timeout=15e-6, suspicion_threshold=2,
+    notify_attempts=3, notify_backoff=5e-6,
+)
+
+
+def exchange(mpi, iters=40):
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    acc = 0.0
+    for k in range(iters):
+        if mpi.rank % 2 == 0:
+            yield from mpi.send(np.array([float(mpi.rank + k)]), dest=right, tag=3)
+            got, _ = yield from mpi.recv(source=left, tag=3)
+        else:
+            got, _ = yield from mpi.recv(source=left, tag=3)
+            yield from mpi.send(np.array([float(mpi.rank + k)]), dest=right, tag=3)
+        acc += float(got[0])
+        yield from mpi.compute(2e-6)
+    return acc
+
+
+def _job(protocol, n=4, detector=DET, seed=0):
+    cfg = ReplicationConfig(degree=2, protocol=protocol)
+    return Job(n, cfg=cfg, cluster=cluster_for(n, 2), seed=seed, detector=detector)
+
+
+class TestDetectorConfig:
+    def test_declare_at_formula(self):
+        det = DetectorConfig(heartbeat_period=10e-6, timeout=5e-6, suspicion_threshold=3)
+        # crash at 12us: heartbeat 1 was sent at 10us, beats 2/3/4 missed
+        # (20/30/40us) -> declared at 40us + timeout
+        assert det.declare_at(12e-6) == pytest.approx((1 + 3) * 10e-6 + 5e-6)
+        # detection latency is strictly positive whenever timeout > 0
+        for t in (0.0, 3e-6, 9.99e-6, 25e-6):
+            assert det.declare_at(t) > t
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_period"):
+            DetectorConfig(heartbeat_period=0.0)
+        with pytest.raises(ValueError, match="suspicion_threshold"):
+            DetectorConfig(suspicion_threshold=0)
+        with pytest.raises(ValueError, match="notify_attempts"):
+            DetectorConfig(notify_attempts=0)
+        with pytest.raises(ValueError, match="notify_drop_p"):
+            DetectorConfig(notify_drop_p=1.0)  # certain loss: nothing ever arrives
+        with pytest.raises(ValueError, match="notify_backoff"):
+            DetectorConfig(notify_backoff=-1e-6)
+
+
+class TestDetectionLatency:
+    def test_crash_declaration_is_late_and_measured(self):
+        at = 42e-6
+        clean = _job("sdr").launch(exchange).run()
+        job = _job("sdr")
+        job.launch(exchange)
+        job.crash(1, 1, at=at)
+        res = job.run()
+        victim = job.rmap.phys(1, 1)
+        latency = job.membership.detection_latency[victim]
+        assert latency == pytest.approx(DET.declare_at(at) - at)
+        assert latency > 0.0
+        # the protocol still rides it out: every survivor matches the
+        # failure-free run (results are rank-dependent by construction)
+        assert res.app_results == {p: clean.app_results[p] for p in res.app_results}
+        assert set(res.app_results) == set(clean.app_results) - {victim}
+
+    def test_oracle_records_no_latency(self):
+        job = _job("sdr", detector=None)
+        job.launch(exchange)
+        job.crash(1, 1, at=42e-6)
+        job.run()
+        assert job.membership.detection_latency == {}
+
+    def test_detector_slows_failover_vs_oracle(self):
+        def failover_runtime(detector):
+            job = _job("sdr", detector=detector)
+            job.launch(exchange)
+            job.crash(1, 1, at=42e-6)
+            return job.run().runtime
+
+        # late declaration => peers keep waiting on the dead replica longer
+        assert failover_runtime(DET) > failover_runtime(None)
+
+
+class TestUnreliableNotification:
+    def test_notify_retries_and_drops_are_counted(self):
+        det = DetectorConfig(
+            heartbeat_period=10e-6, timeout=15e-6, suspicion_threshold=2,
+            notify_attempts=4, notify_backoff=5e-6, notify_drop_p=0.5,
+        )
+        job = _job("sdr", detector=det, seed=3)
+        job.launch(exchange)
+        job.crash(1, 1, at=42e-6)
+        # a target whose every attempt is lost never learns of the crash and
+        # legitimately wedges waiting on the dead replica — run to a horizon
+        job.run(until=2e-3, allow_lost_ranks=True, audit=True)
+        m = job.membership
+        # 7 live targets, each retried until the first surviving attempt:
+        # one non-dropped delivery per reached target, plus every loss
+        assert m.notify_attempts_made > 7
+        assert m.notify_drops > 0
+        assert m.notify_attempts_made == m.notify_drops + 7 - len(m.notify_failures)
+
+    def test_all_attempts_lost_is_recorded_not_hidden(self):
+        det = DetectorConfig(
+            heartbeat_period=10e-6, timeout=15e-6, suspicion_threshold=2,
+            notify_attempts=1, notify_backoff=5e-6, notify_drop_p=0.99,
+        )
+        job = _job("sdr", detector=det, seed=0)
+        job.launch(exchange)
+        job.crash(1, 1, at=42e-6)
+        job.run(until=2e-3, allow_lost_ranks=True, audit=True)
+        # with one attempt at p=0.99, essentially every target misses the news
+        assert job.membership.notify_failures
+        victim = job.rmap.phys(1, 1)
+        assert all(failed == victim for _target, failed in job.membership.notify_failures)
+
+
+class TestFalseSuspicionSurvival:
+    @pytest.mark.parametrize("protocol", REPLICATED)
+    def test_suspected_but_alive_replica_survives(self, protocol):
+        clean = _job(protocol).launch(exchange).run()
+        job = _job(protocol)
+        job.launch(exchange)
+        FaultSchedule().suspect(1, 1, at=30e-6, clear_after=40e-6).apply(job)
+        res = job.run()
+        m = job.membership
+        assert m.false_suspicions == [(job.rmap.phys(1, 1), pytest.approx(30e-6))]
+        assert m.suspected == set()  # cleared before the end
+        # nobody died, nothing was lost, and every process — including the
+        # falsely suspected replica — finished with the correct result
+        assert m.failed == []
+        assert res.lost_ranks == []
+        assert res.app_results == clean.app_results
+
+    def test_suspicion_of_dead_process_is_true_positive(self):
+        job = _job("sdr")
+        job.launch(exchange)
+        job.crash(1, 1, at=20e-6)
+        # injected *after* the crash: not a false positive, must be a no-op
+        FaultSchedule().suspect(1, 1, at=200e-6).apply(job)
+        job.run()
+        assert job.membership.false_suspicions == []
+
+    def test_suspect_is_not_electable_as_substitute(self):
+        job = _job("sdr")
+        job.launch(exchange)
+        m = job.membership
+        sus = job.rmap.phys(1, 0)
+        m.suspected.add(sus)
+        assert m.substitute_rep(1) == 1  # rep 0 is suspect, elect rep 1
+        m.suspected.clear()
+        assert m.substitute_rep(1) == 0
+
+    def test_suspicion_requires_detector(self):
+        job = _job("sdr", detector=None)
+        with pytest.raises(RuntimeError, match="imperfect detector"):
+            job.membership.inject_suspicion(1)

@@ -1,0 +1,161 @@
+"""Runtime ownership guard on the hook surface (``on_match`` /
+``on_recv_complete``).
+
+Hooks borrow the envelope; ``env.retain()`` is the escape hatch, balanced
+later by ``pml.release_env``.  With the filter guard enabled, hooks are
+wrapped at append time in retain accounting: a retain that is never
+balanced is stranded at the ``unbalanced_retain`` site at end of run and
+the harness raises naming the hook — instead of an anonymous arena
+imbalance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.interpose import filter_guard_enabled, set_filter_guard
+from repro.harness.runner import Job, cluster_for
+
+
+def pingpong(mpi, rounds=4):
+    peer = 1 - mpi.rank
+    acc = 0.0
+    for k in range(rounds):
+        if mpi.rank == 0:
+            yield from mpi.send(np.array([float(k)]), dest=peer, tag=5)
+            got, _ = yield from mpi.recv(source=peer, tag=5)
+        else:
+            got, _ = yield from mpi.recv(source=peer, tag=5)
+            yield from mpi.send(got, dest=peer, tag=5)
+        acc += float(got[0])
+    return acc
+
+
+def _sdr_job():
+    cfg = ReplicationConfig(degree=2, protocol="sdr")
+    return Job(2, cfg=cfg, cluster=cluster_for(2, 2, cores_per_node=1))
+
+
+@pytest.fixture
+def guard():
+    previous = set_filter_guard(True)
+    yield
+    set_filter_guard(previous)
+
+
+class TestGuardMechanics:
+    def test_flag_round_trip(self):
+        previous = set_filter_guard(True)
+        try:
+            assert filter_guard_enabled()
+            assert set_filter_guard(False) is True
+            assert not filter_guard_enabled()
+        finally:
+            set_filter_guard(previous)
+
+    def test_hooks_wrap_only_while_enabled(self, guard):
+        job = _sdr_job()
+        pml = job.pmls[0]
+
+        def plain(recv, env):
+            return None
+
+        pml.on_match.append(plain)
+        assert pml.on_match[-1].__wrapped__ is plain
+        set_filter_guard(False)
+        pml.on_match.append(plain)
+        assert pml.on_match[-1] is plain
+
+
+class TestUnbalancedRetain:
+    def test_on_match_retain_without_release_fails_naming_the_hook(self, guard):
+        job = _sdr_job()
+
+        def bad_hook(recv, env):
+            env.retain()  # never balanced: the leak the guard exists to name
+
+        job.pmls[0].on_match.append(bad_hook)
+        job.launch(pingpong)
+        with pytest.raises(AssertionError, match="bad_hook"):
+            job.run()
+        assert job._strand_attribution()["unbalanced_retain"]["envs"] >= 1
+        # the strand keeps the arena balance provable despite the leak
+        pml = job.pmls[0]
+        assert pml.env_acquired == pml.env_released + pml.env_stranded
+
+    def test_on_recv_complete_retain_without_release_fails_too(self, guard):
+        job = _sdr_job()
+
+        def hoarder(env, recv):  # env is argument 0 on this surface
+            env.retain()
+
+        job.pmls[1].on_recv_complete.append(hoarder)
+        job.launch(pingpong)
+        with pytest.raises(AssertionError, match="hoarder"):
+            job.run()
+        assert job._strand_attribution()["unbalanced_retain"]["envs"] >= 1
+
+    def test_generator_hooks_are_guarded_as_well(self, guard):
+        job = _sdr_job()
+
+        def gen_hoarder(recv, env):
+            env.retain()
+            yield 0.0
+
+        job.pmls[0].on_match.append(gen_hoarder)
+        job.launch(pingpong)
+        with pytest.raises(AssertionError, match="gen_hoarder"):
+            job.run()
+
+    def test_without_guard_the_leak_is_anonymous(self):
+        assert not filter_guard_enabled()
+        job = _sdr_job()
+
+        def bad_hook(recv, env):
+            env.retain()
+
+        job.pmls[0].on_match.append(bad_hook)
+        job.launch(pingpong)
+        with pytest.raises(AssertionError) as exc:
+            job.run()
+        assert "bad_hook" not in str(exc.value)  # the guard's added value
+
+
+class TestBalancedRetain:
+    def test_retain_released_in_same_hook_is_clean(self, guard):
+        job = _sdr_job()
+        pml = job.pmls[0]
+
+        def inspect(recv, env):
+            env.retain()
+            pml.release_env(env)
+
+        pml.on_match.append(inspect)
+        res = job.launch(pingpong).run()  # audits: no violation, books balance
+        assert "unbalanced_retain" not in res.stranded_by_site
+
+    def test_retain_released_in_a_later_hook_is_clean(self, guard):
+        job = _sdr_job()
+        pml = job.pmls[0]
+        held = []
+
+        def keeper(recv, env):
+            env.retain()
+            held.append(env)
+
+        def releaser(env, recv):
+            while held:
+                pml.release_env(held.pop())
+
+        pml.on_match.append(keeper)
+        pml.on_recv_complete.append(releaser)
+        res = job.launch(pingpong).run()
+        assert held == []
+        assert "unbalanced_retain" not in res.stranded_by_site
+
+    def test_guarded_clean_run_matches_unguarded_results(self, guard):
+        guarded = _sdr_job().launch(pingpong).run()
+        set_filter_guard(False)
+        plain = _sdr_job().launch(pingpong).run()
+        assert guarded.app_results == plain.app_results
+        assert guarded.runtime == plain.runtime

@@ -12,7 +12,10 @@
 #          --check.  Skipped with a notice when ruff is not installed —
 #          the GitHub workflow always installs it, so the skip only
 #          applies to bare local environments.
-#   tests  the tier-1 pytest suite (ROADMAP.md contract).
+#   tests  the tier-1 pytest suite (ROADMAP.md contract), then a quick
+#          seeded fault-campaign smoke (sdr-mpi campaign --seeds 3): every
+#          run is audited for the zero-leak arena balance, and any
+#          invariant violation fails the gate (docs/fault_model.md).
 #   bench  tools/bench.py --quick --check: fails with a per-workload delta
 #          table when any workload's events/sec drops more than 20% below
 #          the committed snapshot in BENCH_engine.json.  --paper adds the
@@ -69,6 +72,12 @@ if (( RUN_TESTS )); then
 
     echo "== tier-1 tests =="
     python -m pytest -x -q
+
+    echo "== fault-campaign smoke (3 seeded mixes x 5 protocols, audited) =="
+    # Exits nonzero on any invariant violation (arena imbalance or a
+    # per-site strand sum that fails to reproduce the scalar counters);
+    # the degradation table lands in the log.  See docs/fault_model.md.
+    python -m repro campaign --seeds 3
 fi
 
 if (( RUN_BENCH )); then

@@ -76,6 +76,20 @@ class ProtocolShared:
         self.ack_post_overhead = cfg.ack_post_overhead
         self.ack_handle_overhead = cfg.ack_handle_overhead
 
+    def rebound(self, membership: MembershipService) -> "ProtocolShared":
+        """Per-job copy bound to a fresh membership service.
+
+        Everything else — rmap, cfg, the rep_bases tuple, the cost knobs —
+        is immutable and shared *by reference*, so a sweep's shape cache
+        can hand one template to every same-shape job and pay only this
+        O(1) rebinding per job instead of re-deriving the table.
+        """
+        new = ProtocolShared.__new__(ProtocolShared)
+        for slot in ProtocolShared.__slots__:
+            setattr(new, slot, getattr(self, slot))
+        new.membership = membership
+        return new
+
 
 class ReplicatedBase(BaseProtocol):
     """Replica-aware protocol base: dedup + reorder + failure plumbing."""

@@ -53,17 +53,19 @@ from repro.core.config import ReplicationConfig
 from repro.core.membership import DetectorConfig
 from repro.harness.faults import FaultSchedule
 from repro.harness.report import render_table
-from repro.harness.runner import Job, cluster_for
+from repro.harness.runner import Job, JobShape, cluster_for
 from repro.network.model import FaultPlan, LinkFaultWindow, PartitionWindow
 from repro.sim.rng import RngRegistry
 
 __all__ = [
     "OUTCOMES",
     "DEFAULT_PROTOCOLS",
+    "WORKLOADS",
     "CampaignConfig",
     "RunRecord",
     "CampaignResult",
     "campaign_app",
+    "allreduce_app",
     "sample_faults",
     "run_case",
     "run_campaign",
@@ -89,6 +91,8 @@ class CampaignConfig:
     n_ranks: int = 4
     degree: int = 2
     steps: int = 12
+    #: workload name (see :data:`WORKLOADS`) — a sweep axis since PR 7
+    workload: str = "ring"
     #: virtual-seconds cap per run (wedged runs stop and audit here)
     horizon: float = 2e-3
     #: fault-time scale: faults are drawn inside [0, active], matched to
@@ -149,6 +153,42 @@ def expected_results(cfg: CampaignConfig) -> Dict[int, float]:
         rank: ((rank - 1) % cfg.n_ranks) * 1000.0 * cfg.steps + tri
         for rank in range(cfg.n_ranks)
     }
+
+
+def allreduce_app(mpi, steps: int = 12, state: Optional[RingState] = None):
+    """Collective workload under churn: every rank contributes ``rank + step``
+    to a sum-allreduce per step and accumulates the global total, with a
+    recovery point per step.  Exercises the protocols' collective paths —
+    the ring workload never leaves pt2pt — so a sweep can ask whether a
+    fault mix that pt2pt absorbs also spares the collective towers."""
+    st = state or RingState()
+    mpi.register_state(st)
+    while st.step < steps:
+        k = st.step
+        total = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
+        st.acc += float(total)
+        st.step += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def allreduce_expected(cfg: CampaignConfig) -> Dict[int, float]:
+    """Correct per-logical-rank return value of :func:`allreduce_app`."""
+    tri_n = cfg.n_ranks * (cfg.n_ranks - 1) / 2.0
+    tri_s = cfg.steps * (cfg.steps - 1) / 2.0
+    value = cfg.steps * tri_n + cfg.n_ranks * tri_s
+    return {rank: value for rank in range(cfg.n_ranks)}
+
+
+#: workload axis: name -> (app factory, expected-results function).  Both
+#: factories accept ``(mpi, steps=..., state=...)`` so respawned replicas
+#: can fork from a recovery point, and both have closed-form expected
+#: values so every run classifies against ground truth.
+WORKLOADS: Dict[str, Tuple[Any, Any]] = {
+    "ring": (campaign_app, expected_results),
+    "allreduce": (allreduce_app, allreduce_expected),
+}
 
 
 # ------------------------------------------------------------- fault mixes
@@ -272,21 +312,38 @@ def _fingerprint(payload: Dict[str, Any]) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def run_case(protocol: str, seed: int, cfg: Optional[CampaignConfig] = None) -> RunRecord:
-    """Run one seeded fault mix against *protocol* and audit the books."""
+def run_case(
+    protocol: str,
+    seed: int,
+    cfg: Optional[CampaignConfig] = None,
+    shape: Optional[JobShape] = None,
+) -> RunRecord:
+    """Run one seeded fault mix against *protocol* and audit the books.
+
+    *shape* is an optional prebuilt :class:`JobShape` for this exact
+    ``(protocol, degree, n_ranks)`` — the sweep executor's shape cache
+    passes one so same-shape configs reuse the shared construction; the
+    run is byte-identical with or without it (the cache only memoizes
+    values that are pure functions of the shape).
+    """
     cfg = cfg or CampaignConfig()
+    if cfg.workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {cfg.workload!r}; have {sorted(WORKLOADS)}")
+    app, expected_fn = WORKLOADS[cfg.workload]
     degree = 1 if protocol == "native" else cfg.degree
     rcfg = ReplicationConfig(degree=degree, protocol=protocol)
+    if shape is None:
+        shape = JobShape.build(cfg.n_ranks, rcfg, cluster_for(cfg.n_ranks, degree))
     sched, plan, mix = sample_faults(seed, cfg, protocol)
     job = Job(
         cfg.n_ranks,
         cfg=rcfg,
-        cluster=cluster_for(cfg.n_ranks, degree),
         seed=seed,
         detector=cfg.detector,
         fault_plan=plan,
+        shape=shape,
     )
-    job.launch(campaign_app, steps=cfg.steps)
+    job.launch(app, steps=cfg.steps)
     sched.apply(job, horizon=cfg.horizon)
 
     outcome: Optional[str] = None
@@ -353,7 +410,7 @@ def run_case(protocol: str, seed: int, cfg: Optional[CampaignConfig] = None) -> 
     }
 
     if outcome is None:
-        expected = expected_results(cfg)
+        expected = expected_fn(cfg)
         results = res.app_results if res is not None else {}
         wrong = [
             p for p, val in results.items() if val != expected[job.rmap.rank_of(p)]

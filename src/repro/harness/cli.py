@@ -114,6 +114,9 @@ def _cmd_determinism(args) -> int:
 def _cmd_campaign(args) -> int:
     from repro.harness.campaign import DEFAULT_PROTOCOLS, run_campaign
 
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
     protocols = tuple(args.protocols) if args.protocols else DEFAULT_PROTOCOLS
     seeds = range(args.seed_base, args.seed_base + args.seeds)
     result = run_campaign(protocols=protocols, seeds=seeds)
@@ -122,8 +125,9 @@ def _cmd_campaign(args) -> int:
         f"(seeds {seeds.start}..{seeds.stop - 1})"
     ))
     if args.json:
-        with open(args.json, "w") as fh:
-            fh.write(result.to_json())
+        from repro.harness.store import atomic_write_text
+
+        atomic_write_text(args.json, result.to_json())
         print(f"\nwrote {len(result.records)} run records to {args.json}", file=sys.stderr)
     violations = result.violations
     for rec in violations:
@@ -132,6 +136,84 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
     return 1 if violations else 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.store import StoreError, SweepStore
+    from repro.harness.sweep import (
+        SweepError,
+        SweepSpec,
+        render_sweep_report,
+        run_sweep,
+        verify_sample,
+    )
+
+    if args.report:
+        if not args.store:
+            print("--report requires --store BASE", file=sys.stderr)
+            return 2
+        try:
+            with SweepStore.open(args.store) as store:
+                print(render_sweep_report(store.records(), store.summary,
+                                          title="Sweep (from store)"))
+        except StoreError as exc:
+            print(f"store error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    kwargs = {"seeds": tuple(range(args.seed_base, args.seed_base + args.seeds)),
+              "steps": args.steps}
+    for axis in ("protocols", "degrees", "ranks", "workloads", "mixes"):
+        values = getattr(args, axis)
+        if values:
+            kwargs[axis] = tuple(values)
+    try:
+        spec = SweepSpec(**kwargs).validate()
+    except SweepError as exc:
+        print(f"invalid sweep matrix: {exc}", file=sys.stderr)
+        return 2
+
+    workers = max(1, args.workers)
+    print(f"sweep: {spec.n_configs} configs on {workers} worker(s)", file=sys.stderr)
+    try:
+        result = run_sweep(spec, workers=workers, store_base=args.store,
+                           overwrite=args.overwrite)
+    except (SweepError, StoreError) as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_sweep_report(result.records, result.summary(), title="Sweep"))
+    rc = 0
+    for rec in result.violations:
+        print(
+            f"INVARIANT VIOLATION: config #{rec['index']} "
+            f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
+            f"/{rec['workload']}/{rec['mix']}/s{rec['seed']}: "
+            f"{rec['invariant_error']}",
+            file=sys.stderr,
+        )
+        rc = 1
+    if result.worker_crashes:
+        print(f"{result.worker_crashes} config(s) lost to worker crashes", file=sys.stderr)
+        rc = 1
+    if args.verify:
+        mismatches = verify_sample(spec, result.records, args.verify)
+        if mismatches:
+            for m in mismatches:
+                print(f"VERIFY MISMATCH: {m}", file=sys.stderr)
+            rc = 1
+        else:
+            print(
+                f"verified {min(args.verify, spec.n_configs)} sampled config(s) "
+                f"against serial re-execution",
+                file=sys.stderr,
+            )
+    if args.store:
+        print(f"store: {args.store}.jsonl / {args.store}.sqlite", file=sys.stderr)
+    return rc
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -166,6 +248,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seed-base", type=int, default=0, help="first campaign seed")
     p.add_argument("--json", metavar="PATH", help="write per-run records as JSON")
     p.set_defaults(fn=_cmd_campaign)
+
+    p = sub.add_parser(
+        "sweep", help="config-matrix sweep across a multiprocessing worker pool"
+    )
+    p.add_argument(
+        "--protocols", nargs="*",
+        choices=["native", "sdr", "mirror", "leader", "redmpi"],
+        help="protocol axis (default: all five)",
+    )
+    p.add_argument("--degrees", type=int, nargs="*", help="replication-degree axis")
+    p.add_argument("--ranks", type=int, nargs="*", help="world-size axis")
+    p.add_argument("--workloads", nargs="*", help="workload axis (ring, allreduce)")
+    p.add_argument(
+        "--mixes", nargs="*", help="fault-mix axis (clean, crash, network, full)"
+    )
+    p.add_argument("--seeds", type=int, default=3, help="seeds per config group")
+    p.add_argument("--seed-base", type=int, default=0, help="first campaign seed")
+    p.add_argument("--steps", type=int, default=12, help="application steps per run")
+    p.add_argument("--workers", type=int, default=1, help="worker processes")
+    p.add_argument("--store", metavar="BASE", help="stream results to BASE.jsonl + BASE.sqlite")
+    p.add_argument("--overwrite", action="store_true", help="replace an existing store")
+    p.add_argument(
+        "--verify", type=int, default=0, metavar="K",
+        help="re-run K sampled configs serially and compare fingerprints",
+    )
+    p.add_argument(
+        "--report", action="store_true",
+        help="render tables from an existing --store instead of running",
+    )
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("determinism", help="send-determinism check (Definition 1)")
     p.add_argument("--app", default="hpccg")

@@ -14,6 +14,7 @@ __all__ = [
     "render_series",
     "overhead_row",
     "strand_site_rows",
+    "sweep_outcome_rows",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_FIG7_POINTS",
@@ -104,6 +105,54 @@ def strand_site_rows(
             total_e += e
             cells.append(f"{f}/{e}" if (f or e) else "-")
         rows.append([label, *cells, f"{total_f}/{total_e}"])
+    return header, rows
+
+
+def sweep_outcome_rows(
+    records: Sequence[Mapping[str, object]],
+    outcomes: Sequence[str],
+) -> Tuple[List[str], List[List[object]]]:
+    """Header + rows of the sweep outcome matrix.
+
+    Groups sweep run records by config group (every axis except the seed)
+    and counts each outcome of *outcomes* per group, plus a survival rate
+    (completed + degraded, the paper's "application finishes" criterion)
+    and the mean simulated runtime over the group's seeds.  The outcome
+    vocabulary is passed in rather than imported so this module stays
+    import-free of the campaign layer.  Feed to :func:`render_table`.
+    """
+    groups: Dict[str, Dict[str, object]] = {}
+    for rec in records:
+        label = (
+            f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
+            f"/{rec['workload']}/{rec['mix']}"
+        )
+        g = groups.setdefault(
+            label, {"counts": {o: 0 for o in outcomes}, "runtimes": []}
+        )
+        counts: Dict[str, int] = g["counts"]  # type: ignore[assignment]
+        outcome = str(rec.get("outcome", ""))
+        counts[outcome] = counts.get(outcome, 0) + 1
+        metrics = rec.get("metrics") or {}
+        if isinstance(metrics, Mapping) and "runtime" in metrics:
+            g["runtimes"].append(float(metrics["runtime"]))  # type: ignore[union-attr]
+    header = ["config", "runs", *outcomes, "survive%", "mean runtime"]
+    rows: List[List[object]] = []
+    for label in sorted(groups):
+        counts = groups[label]["counts"]  # type: ignore[assignment]
+        runtimes: List[float] = groups[label]["runtimes"]  # type: ignore[assignment]
+        n = sum(counts.values())
+        survived = counts.get("completed", 0) + counts.get("degraded", 0)
+        mean_rt = sum(runtimes) / len(runtimes) if runtimes else float("nan")
+        rows.append(
+            [
+                label,
+                n,
+                *(counts.get(o, 0) for o in outcomes),
+                f"{100.0 * survived / n:.0f}" if n else "-",
+                f"{mean_rt:.3g}",
+            ]
+        )
     return header, rows
 
 

@@ -28,7 +28,7 @@ from repro.mpi.api import MpiProcess
 from repro.mpi.comm import shared_world
 from repro.mpi.errors import DeadlockError, MpiError
 from repro.mpi.pml import Pml
-from repro.network.fabric import Fabric, Frame
+from repro.network.fabric import CostTable, Fabric, Frame
 from repro.network.model import FaultPlan
 from repro.network.topology import (
     Cluster,
@@ -41,7 +41,7 @@ from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.sync import AnyOf, Event
 
-__all__ = ["Job", "JobResult", "cluster_for"]
+__all__ = ["Job", "JobResult", "JobShape", "cluster_for"]
 
 _PROTOCOL_CLASSES = {
     "sdr": SdrProtocol,
@@ -55,6 +55,59 @@ def cluster_for(n_ranks: int, degree: int = 1, cores_per_node: int = 8, **kwargs
     """Smallest paper-shaped cluster that fits n_ranks × degree processes."""
     nodes_per_set = max(1, math.ceil(n_ranks / cores_per_node))
     return Cluster(nodes=nodes_per_set * max(1, degree), cores_per_node=cores_per_node, **kwargs)
+
+
+@dataclass(frozen=True)
+class JobShape:
+    """Everything a :class:`Job` constructs that is a pure function of
+    ``(n_ranks, cfg, cluster)``: the cluster, validated placement, replica
+    map, shared world (PR 5), memoized cost table, and the protocol-shared
+    template.  All of it is immutable — or, for the cost table, a
+    deterministic memo whose warmth cannot change results — so one shape
+    can back every same-shape job of a sweep.  The sweep executor caches
+    one per ``(protocol, degree, n_ranks)`` with hit/miss accounting
+    (:class:`repro.harness.sweep.ShapeCache`); a plain ``Job(...)`` builds
+    a private shape and behaves exactly as before.
+    """
+
+    n_ranks: int
+    cfg: ReplicationConfig
+    cluster: Cluster
+    placement: Placement
+    rmap: ReplicaMap
+    world_shared: Any
+    cost_table: CostTable
+    #: membership-less template; each job rebinds it via ``rebound()``
+    proto_shared: Optional[ProtocolShared]
+
+    @classmethod
+    def build(
+        cls,
+        n_ranks: int,
+        cfg: Optional[ReplicationConfig] = None,
+        cluster: Optional[Cluster] = None,
+    ) -> "JobShape":
+        cfg = cfg or ReplicationConfig(degree=1, protocol="native")
+        cluster = cluster if cluster is not None else cluster_for(n_ranks, cfg.degree)
+        rmap = ReplicaMap(n_ranks, cfg.degree)
+        if cfg.degree > 1:
+            placement: Placement = split_halves_placement(cluster, n_ranks, cfg.degree)
+        else:
+            placement = round_robin_placement(cluster, n_ranks)
+        placement.validate()
+        proto_shared = None
+        if cfg.protocol != "native":
+            proto_shared = ProtocolShared(rmap, None, cfg)  # type: ignore[arg-type]
+        return cls(
+            n_ranks=n_ranks,
+            cfg=cfg,
+            cluster=cluster,
+            placement=placement,
+            rmap=rmap,
+            world_shared=shared_world(n_ranks),
+            cost_table=CostTable(placement),
+            proto_shared=proto_shared,
+        )
 
 
 @dataclass
@@ -102,18 +155,32 @@ class Job:
         shared_state: bool = True,
         detector: Optional[DetectorConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        shape: Optional[JobShape] = None,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
         self.n_ranks = n_ranks
-        self.rmap = ReplicaMap(n_ranks, self.cfg.degree)
-        self.cluster = cluster or cluster_for(n_ranks, self.cfg.degree)
-        if self.cfg.degree > 1:
-            self.placement: Placement = split_halves_placement(
-                self.cluster, n_ranks, self.cfg.degree
-            )
+        if shape is not None:
+            # Reusing a cached shape is only sound when the job would have
+            # built the very same values — enforce it instead of trusting
+            # the sweep executor's keying.
+            if not shared_state:
+                raise ValueError(
+                    "Job(shape=...) requires shared_state=True — the seed-shaped "
+                    "private construction cannot reuse a shared shape"
+                )
+            if shape.n_ranks != n_ranks or shape.cfg != self.cfg:
+                raise ValueError(
+                    f"shape mismatch: shape is ({shape.n_ranks} ranks, {shape.cfg}), "
+                    f"job wants ({n_ranks} ranks, {self.cfg})"
+                )
+            if cluster is not None and cluster != shape.cluster:
+                raise ValueError("shape mismatch: Job cluster differs from shape.cluster")
         else:
-            self.placement = round_robin_placement(self.cluster, n_ranks)
-        self.placement.validate()
+            shape = JobShape.build(n_ranks, self.cfg, cluster)
+        self.shape = shape
+        self.rmap = shape.rmap
+        self.cluster = shape.cluster
+        self.placement: Placement = shape.placement
         #: ``bucketed=False`` keeps every queue insertion on the kernel heap
         #: (the seed-shaped reference mode) — the two-level-queue equivalence
         #: suite proves the bucketed engine observationally identical to it.
@@ -130,8 +197,8 @@ class Job:
         #: equivalence suite compares against.  Values are identical either
         #: way; only the sharing differs.
         self.shared_state = shared_state
-        self._world_shared = shared_world(n_ranks) if shared_state else None
-        self.fabric = Fabric(self.sim, self.placement, jitter=jitter)
+        self._world_shared = shape.world_shared if shared_state else None
+        self.fabric = Fabric(self.sim, self.placement, jitter=jitter, cost_table=shape.cost_table)
         self.fabric.pool_frames = pooling
         if fault_plan is not None:
             # Seeded network adversary (drops/dups/delay windows/partitions);
@@ -151,7 +218,13 @@ class Job:
         #: (``shared_state=False`` → None → each protocol builds its own)
         self._proto_shared: Optional[ProtocolShared] = None
         if shared_state and self.cfg.protocol != "native":
-            self._proto_shared = ProtocolShared(self.rmap, self.membership, self.cfg)
+            # The shape carries a membership-less template shared across
+            # same-shape jobs; only the membership binding is per-job.
+            self._proto_shared = (
+                shape.proto_shared.rebound(self.membership)
+                if shape.proto_shared is not None
+                else ProtocolShared(self.rmap, self.membership, self.cfg)
+            )
         self.vfs = VirtualFileSystem(self.sim)
         self.pmls: Dict[int, Pml] = {}
         self.protocols: Dict[int, Any] = {}

@@ -1,0 +1,631 @@
+"""Sweep orchestrator: from one Job to thousands of audited configurations.
+
+The campaign runner (PR 6) answers one matrix — N seeds × the five
+protocols at a fixed shape.  A *sweep* generalizes it into the
+capacity-planning service the ROADMAP names: a validated config matrix
+over every axis the paper's claims compare —
+
+====================  =====================================================
+axis                  values
+====================  =====================================================
+``protocols``         any of ``native/sdr/mirror/leader/redmpi``
+``degrees``           replication degree *r* (native always runs r=1 and
+                      is emitted once, not once per degree)
+``ranks``             logical world sizes
+``workloads``         :data:`repro.harness.campaign.WORKLOADS` names
+``mixes``             named fault-mix profiles (:data:`MIX_PROFILES`)
+``seeds``             campaign seeds — one integer reproduces one run
+====================  =====================================================
+
+— executed serially or across a ``multiprocessing`` worker pool, streamed
+to a :class:`~repro.harness.store.SweepStore`, and rendered as
+paper-style tables.  Like :class:`~repro.harness.faults.FaultSchedule`,
+the matrix is validated when it is built (:class:`SweepError` names the
+bad axis), not when config #1731 finally executes.
+
+Determinism contract: every config's fingerprint is **byte-identical**
+whether the sweep runs serially or on N workers, warm cache or cold —
+each worker's :class:`ShapeCache` only reuses construction that is a pure
+function of ``(protocol, degree, n_ranks)`` (shared world, cost table,
+protocol-shared template — the PR 5 flyweights), with hit/miss
+accounting so the reuse is observable.  Every run is audited by
+``run_case`` (``acquired == released + stranded``); an invariant
+violation is a nonzero sweep exit, never a taxonomy bucket.  A worker
+that *dies* (OOM-killed, segfaulted) marks its in-flight config failed
+and the pool keeps draining — a sweep never hangs on a lost worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PROTOCOLS, ReplicationConfig
+from repro.harness.campaign import (
+    OUTCOMES,
+    WORKLOADS,
+    CampaignConfig,
+    run_case,
+)
+from repro.harness.report import render_table, strand_site_rows, sweep_outcome_rows
+from repro.harness.runner import JobShape, cluster_for
+from repro.harness.store import SweepStore
+
+__all__ = [
+    "MIX_PROFILES",
+    "SweepError",
+    "SweepSpec",
+    "SweepPoint",
+    "ShapeCache",
+    "SweepResult",
+    "run_sweep",
+    "verify_sample",
+    "render_sweep_report",
+]
+
+_NO_FAULTS: Dict[str, float] = {
+    "p_churn": 0.0, "p_crash": 0.0, "p_respawn": 0.0, "p_suspicion": 0.0,
+    "p_drop_window": 0.0, "p_dup_window": 0.0, "p_delay_window": 0.0,
+    "p_partition": 0.0,
+}
+
+#: named fault-mix profiles — the ``mixes`` axis.  Each maps to the
+#: :class:`CampaignConfig` probability overrides that gate which fault
+#: classes a seeded mix may draw (the draws themselves stay a pure
+#: function of the seed; see ``sample_faults``).
+MIX_PROFILES: Dict[str, Dict[str, float]] = {
+    #: no faults at all — the correctness/throughput floor
+    "clean": dict(_NO_FAULTS),
+    #: process-level only: crashes, churn, respawns
+    "crash": {**_NO_FAULTS, "p_churn": 0.2, "p_crash": 0.5, "p_respawn": 0.5},
+    #: wire-level only: drop/dup/delay windows and healing partitions
+    "network": {
+        **_NO_FAULTS,
+        "p_drop_window": 0.25, "p_dup_window": 0.5, "p_delay_window": 0.5,
+        "p_partition": 0.15,
+    },
+    #: everything at the PR 6 campaign odds (CampaignConfig defaults)
+    "full": {},
+}
+
+#: test seam: a worker whose task index equals this env var hard-exits,
+#: standing in for the OOM-kill/segfault class of failures the pool must
+#: survive (see tests/test_sweep.py::test_worker_crash_keeps_draining)
+_TEST_CRASH_ENV = "REPRO_SWEEP_TEST_CRASH"
+
+
+class SweepError(ValueError):
+    """Invalid sweep matrix — raised at build time, naming the bad axis."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved configuration of the matrix."""
+
+    index: int
+    protocol: str
+    degree: int
+    n_ranks: int
+    workload: str
+    mix: str
+    seed: int
+    steps: int = 12
+    horizon: float = 2e-3
+    active: float = 60e-6
+
+    @property
+    def effective_degree(self) -> int:
+        return 1 if self.protocol == "native" else self.degree
+
+    def label(self) -> str:
+        return (
+            f"{self.protocol}/r{self.effective_degree}/n{self.n_ranks}"
+            f"/{self.workload}/{self.mix}/s{self.seed}"
+        )
+
+    def campaign_config(self) -> CampaignConfig:
+        return CampaignConfig(
+            n_ranks=self.n_ranks,
+            degree=self.degree,
+            steps=self.steps,
+            workload=self.workload,
+            horizon=self.horizon,
+            active=self.active,
+            **MIX_PROFILES[self.mix],
+        )
+
+
+def _check_axis(name: str, values: Sequence[Any], kind: type, minimum: int) -> None:
+    if not values:
+        raise SweepError(f"axis {name!r} is empty — nothing to sweep")
+    for v in values:
+        if not isinstance(v, kind) or isinstance(v, bool):
+            raise SweepError(f"axis {name!r}: {v!r} is not {kind.__name__}")
+        if kind is int and v < minimum:
+            raise SweepError(f"axis {name!r}: {v} is below the minimum {minimum}")
+    if len(set(values)) != len(values):
+        raise SweepError(f"axis {name!r} has duplicate values: {list(values)}")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated config matrix (cartesian product of explicit-list axes)."""
+
+    protocols: Tuple[str, ...] = PROTOCOLS
+    degrees: Tuple[int, ...] = (2,)
+    ranks: Tuple[int, ...] = (4,)
+    workloads: Tuple[str, ...] = ("ring",)
+    mixes: Tuple[str, ...] = ("full",)
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    steps: int = 12
+    horizon: float = 2e-3
+    active: float = 60e-6
+
+    def __post_init__(self) -> None:
+        # Normalize every axis (ranges, lists, generators) to a tuple so the
+        # spec is hashable, picklable, and iterable more than once.
+        for axis in ("protocols", "degrees", "ranks", "workloads", "mixes", "seeds"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+
+    def validate(self) -> "SweepSpec":
+        """Full build-time validation; returns self for chaining."""
+        _check_axis("protocols", self.protocols, str, 0)
+        for p in self.protocols:
+            if p not in PROTOCOLS:
+                raise SweepError(f"axis 'protocols': unknown {p!r}; have {PROTOCOLS}")
+        replicated = [p for p in self.protocols if p != "native"]
+        _check_axis("degrees", self.degrees, int, 2 if replicated else 1)
+        _check_axis("ranks", self.ranks, int, 2)
+        _check_axis("workloads", self.workloads, str, 0)
+        for w in self.workloads:
+            if w not in WORKLOADS:
+                raise SweepError(
+                    f"axis 'workloads': unknown {w!r}; have {sorted(WORKLOADS)}"
+                )
+        _check_axis("mixes", self.mixes, str, 0)
+        for m in self.mixes:
+            if m not in MIX_PROFILES:
+                raise SweepError(
+                    f"axis 'mixes': unknown {m!r}; have {sorted(MIX_PROFILES)}"
+                )
+        _check_axis("seeds", self.seeds, int, 0)
+        if self.steps < 1:
+            raise SweepError(f"steps must be >= 1, got {self.steps}")
+        if not (0 < self.active <= self.horizon):
+            raise SweepError(
+                f"need 0 < active <= horizon, got active={self.active} "
+                f"horizon={self.horizon}"
+            )
+        return self
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.points())
+
+    def points(self) -> List[SweepPoint]:
+        """The matrix, enumerated in deterministic axis-major order.
+
+        ``native`` ignores the degree axis (it always runs r=1), so it is
+        emitted once per (ranks, workload, mix, seed) combination instead
+        of once per degree — a sweep never wastes runs on duplicate
+        configs that would fingerprint identically.
+        """
+        self.validate()
+        points: List[SweepPoint] = []
+        for protocol, degree, n_ranks, workload, mix, seed in product(
+            self.protocols, self.degrees, self.ranks,
+            self.workloads, self.mixes, self.seeds,
+        ):
+            if protocol == "native" and degree != self.degrees[0]:
+                continue
+            points.append(
+                SweepPoint(
+                    index=len(points),
+                    protocol=protocol,
+                    degree=degree,
+                    n_ranks=n_ranks,
+                    workload=workload,
+                    mix=mix,
+                    seed=seed,
+                    steps=self.steps,
+                    horizon=self.horizon,
+                    active=self.active,
+                )
+            )
+        return points
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "protocols": list(self.protocols),
+            "degrees": list(self.degrees),
+            "ranks": list(self.ranks),
+            "workloads": list(self.workloads),
+            "mixes": list(self.mixes),
+            "seeds": list(self.seeds),
+            "steps": self.steps,
+            "horizon": self.horizon,
+            "active": self.active,
+        }
+
+
+# ---------------------------------------------------------------- execution
+class ShapeCache:
+    """Per-executor cache of :class:`JobShape` keyed by
+    ``(protocol, effective degree, n_ranks)``.
+
+    Every worker process holds one: the first config of a shape pays the
+    construction (miss), every later same-shape config reuses it (hit).
+    Cached values are pure functions of the key, so cache warmth cannot
+    change any run's fingerprint — the property the serial-vs-pooled
+    equivalence suite pins.
+    """
+
+    def __init__(self) -> None:
+        self._shapes: Dict[Tuple[str, int, int], JobShape] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, protocol: str, degree: int, n_ranks: int) -> JobShape:
+        key = (protocol, degree, n_ranks)
+        shape = self._shapes.get(key)
+        if shape is not None:
+            self.hits += 1
+            return shape
+        self.misses += 1
+        rcfg = ReplicationConfig(degree=degree, protocol=protocol)
+        shape = JobShape.build(n_ranks, rcfg, cluster_for(n_ranks, degree))
+        self._shapes[key] = shape
+        return shape
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "shapes": len(self._shapes)}
+
+
+def _execute_point(point: SweepPoint, cache: Optional[ShapeCache] = None) -> Dict[str, Any]:
+    """Run one config through the audited campaign machinery."""
+    cfg = point.campaign_config()
+    degree = point.effective_degree
+    shape = cache.get(point.protocol, degree, point.n_ranks) if cache is not None else None
+    rec = run_case(point.protocol, point.seed, cfg, shape=shape)
+    return {
+        "index": point.index,
+        "protocol": point.protocol,
+        "degree": degree,
+        "n_ranks": point.n_ranks,
+        "workload": point.workload,
+        "mix": point.mix,
+        "seed": point.seed,
+        "outcome": rec.outcome,
+        "faults_drawn": {k: v for k, v in rec.mix.items()},
+        "metrics": rec.metrics,
+        "stranded_by_site": rec.stranded_by_site,
+        "error": rec.error,
+        "invariant_error": rec.invariant_error,
+        "fingerprint": rec.fingerprint,
+    }
+
+
+def _error_record(point: SweepPoint, error: str) -> Dict[str, Any]:
+    """Executor-level failure record: no fingerprint (the config never ran
+    to a reproducible result), outcome ``failed``."""
+    return {
+        "index": point.index,
+        "protocol": point.protocol,
+        "degree": point.effective_degree,
+        "n_ranks": point.n_ranks,
+        "workload": point.workload,
+        "mix": point.mix,
+        "seed": point.seed,
+        "outcome": "failed",
+        "faults_drawn": {},
+        "metrics": {},
+        "stranded_by_site": {},
+        "error": error,
+        "invariant_error": None,
+        "fingerprint": "",
+    }
+
+
+def _worker_main(wid: int, task_q: Any, result_q: Any) -> None:
+    """Worker loop: one ShapeCache for the worker's lifetime, one audited
+    run per task.  ``start`` precedes execution so the parent can attribute
+    an in-flight config to a worker that dies mid-run."""
+    cache = ShapeCache()
+    crash_at = os.environ.get(_TEST_CRASH_ENV)
+    while True:
+        item = task_q.get()
+        if item is None:
+            result_q.put(("exit", wid, cache.stats()))
+            return
+        idx, point = item
+        result_q.put(("start", wid, idx))
+        if crash_at is not None and int(crash_at) == idx:
+            # Test seam: simulated OOM-kill/segfault.  Flush the queue's
+            # feeder thread first so the "start" message survives and the
+            # parent attributes the in-flight config deterministically (a
+            # real crash may lose it — the bounded-respawn fallback then
+            # marks the lost config failed instead).
+            result_q.close()
+            result_q.join_thread()
+            os._exit(43)
+        try:
+            rec = _execute_point(point, cache)
+        except BaseException as exc:  # run_case absorbs run errors; this is executor-level
+            rec = _error_record(point, f"{type(exc).__name__}: {exc}")
+        result_q.put(("done", wid, idx, rec))
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, ordered by config index."""
+
+    spec: SweepSpec
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    cache: Dict[str, int] = field(default_factory=dict)
+    worker_crashes: int = 0
+    workers: int = 1
+    host_seconds: float = 0.0
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("invariant_error")]
+
+    @property
+    def fingerprints(self) -> List[str]:
+        return [r.get("fingerprint", "") for r in self.records]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.as_dict(),
+            "n_configs": len(self.records),
+            "workers": self.workers,
+            "cache": dict(self.cache),
+            "worker_crashes": self.worker_crashes,
+            "violations": len(self.violations),
+            "host_seconds": round(self.host_seconds, 3),
+        }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    store_base: Optional[str] = None,
+    overwrite: bool = False,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> SweepResult:
+    """Execute the matrix; stream records to the store as they complete.
+
+    ``workers <= 1`` runs serially in-process; ``workers > 1`` farms
+    configs over a ``multiprocessing`` pool (fork where available).  The
+    records list is always ordered by config index whatever the completion
+    order was, and per-config fingerprints are byte-identical either way.
+    """
+    points = spec.validate().points()
+    store = SweepStore.create(store_base, overwrite=overwrite) if store_base else None
+    t0 = time.monotonic()
+    try:
+        if workers <= 1:
+            result = _run_serial(spec, points, store, progress)
+        else:
+            result = _run_pooled(spec, points, workers, store, progress)
+        result.host_seconds = time.monotonic() - t0
+        if store is not None:
+            store.finalize(result.summary())
+        return result
+    except BaseException:
+        if store is not None:
+            store.abandon()
+        raise
+
+
+def _run_serial(spec, points, store, progress) -> SweepResult:
+    cache = ShapeCache()
+    records = []
+    for point in points:
+        rec = _execute_point(point, cache)
+        if store is not None:
+            store.append(rec)
+        if progress is not None:
+            progress(rec)
+        records.append(rec)
+    return SweepResult(spec=spec, records=records, cache=cache.stats(), workers=1)
+
+
+def _run_pooled(spec, points, n_workers, store, progress) -> SweepResult:
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    task_q = ctx.Queue()
+    result_q = ctx.Queue()
+    for idx, point in enumerate(points):
+        task_q.put((idx, point))
+    for _ in range(n_workers):
+        task_q.put(None)
+
+    workers: Dict[int, Any] = {}
+    next_wid = 0
+
+    def spawn() -> None:
+        nonlocal next_wid
+        proc = ctx.Process(
+            target=_worker_main, args=(next_wid, task_q, result_q), daemon=True
+        )
+        proc.start()
+        workers[next_wid] = proc
+        next_wid += 1
+
+    for _ in range(n_workers):
+        spawn()
+
+    done: Dict[int, Dict[str, Any]] = {}
+    in_flight: Dict[int, int] = {}  # wid -> config index
+    cache_totals = {"hits": 0, "misses": 0, "shapes": 0}
+    worker_crashes = 0
+    respawns = 0
+
+    def record(idx: int, rec: Dict[str, Any]) -> None:
+        done[idx] = rec
+        if store is not None:
+            store.append(rec)
+        if progress is not None:
+            progress(rec)
+
+    def reap_dead() -> None:
+        """Mark the in-flight config of any dead worker failed; keep the
+        pool draining by respawning when every worker is gone."""
+        nonlocal worker_crashes, respawns
+        for wid, proc in list(workers.items()):
+            if proc.exitcode is None:
+                continue
+            proc.join()
+            del workers[wid]
+            idx = in_flight.pop(wid, None)
+            if idx is not None and idx not in done:
+                worker_crashes += 1
+                record(idx, _error_record(
+                    points[idx],
+                    f"worker {wid} died (exitcode {proc.exitcode}) while running this config",
+                ))
+        if len(done) < len(points) and not workers:
+            if respawns < len(points):
+                respawns += 1
+                task_q.put(None)  # the dead worker never consumed its sentinel
+                spawn()
+            else:
+                for idx, point in enumerate(points):
+                    if idx not in done:
+                        worker_crashes += 1
+                        record(idx, _error_record(
+                            point, "sweep executor exhausted its worker respawn budget"
+                        ))
+
+    while len(done) < len(points):
+        try:
+            msg = result_q.get(timeout=0.25)
+        except queue_mod.Empty:
+            reap_dead()
+            continue
+        kind = msg[0]
+        if kind == "start":
+            in_flight[msg[1]] = msg[2]
+        elif kind == "done":
+            _kind, wid, idx, rec = msg
+            in_flight.pop(wid, None)
+            if idx not in done:
+                record(idx, rec)
+        elif kind == "exit":
+            _kind, wid, stats = msg
+            for k in cache_totals:
+                cache_totals[k] += stats.get(k, 0)
+            proc = workers.pop(wid, None)
+            if proc is not None:
+                proc.join()
+
+    # Drain the remaining clean exits so the cache accounting is complete
+    # (workers that died contribute nothing — their stats died with them).
+    deadline = time.monotonic() + 10.0
+    while workers and time.monotonic() < deadline:
+        try:
+            msg = result_q.get(timeout=0.5)
+        except queue_mod.Empty:
+            for wid, proc in list(workers.items()):
+                if proc.exitcode is not None:
+                    proc.join()
+                    del workers[wid]
+            continue
+        if msg[0] == "exit":
+            _kind, wid, stats = msg
+            for k in cache_totals:
+                cache_totals[k] += stats.get(k, 0)
+            proc = workers.pop(wid, None)
+            if proc is not None:
+                proc.join()
+    for proc in workers.values():  # hung workers: never block the sweep
+        proc.terminate()
+    task_q.close()
+    result_q.close()
+
+    records = [done[idx] for idx in range(len(points))]
+    return SweepResult(
+        spec=spec,
+        records=records,
+        cache=cache_totals,
+        worker_crashes=worker_crashes,
+        workers=n_workers,
+    )
+
+
+def verify_sample(spec: SweepSpec, records: List[Dict[str, Any]], k: int) -> List[str]:
+    """Re-execute *k* evenly-spaced configs serially and compare
+    fingerprints against the sweep's records — the production face of the
+    serial-vs-pooled determinism contract.  Returns mismatch descriptions
+    (empty means verified).  Records without a fingerprint (configs whose
+    worker died) are skipped; they are already counted as worker crashes.
+    """
+    points = spec.points()
+    n = len(points)
+    if k <= 0 or n == 0:
+        return []
+    idxs = sorted({(i * n) // min(k, n) for i in range(min(k, n))})
+    cache = ShapeCache()
+    mismatches: List[str] = []
+    for idx in idxs:
+        rec = records[idx]
+        if not rec.get("fingerprint"):
+            continue
+        fresh = _execute_point(points[idx], cache)
+        if fresh["fingerprint"] != rec["fingerprint"]:
+            mismatches.append(
+                f"config #{idx} ({points[idx].label()}): serial re-execution "
+                f"fingerprint differs from the sweep's record"
+            )
+    return mismatches
+
+
+# ---------------------------------------------------------------- reporting
+def render_sweep_report(
+    records: List[Dict[str, Any]],
+    summary: Optional[Dict[str, Any]] = None,
+    title: str = "Sweep",
+) -> str:
+    """Paper-style tables from sweep records (live result or store query):
+    the per-group outcome matrix with survival rates, and the per-mechanism
+    strand attribution columns (``strand_site_rows``)."""
+    header, rows = sweep_outcome_rows(records, OUTCOMES)
+    parts = [render_table(f"{title} — outcomes by config group", header, rows)]
+
+    by_group: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for rec in records:
+        label = (
+            f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
+            f"/{rec['workload']}/{rec['mix']}"
+        )
+        agg = by_group.setdefault(label, {})
+        for site, cell in (rec.get("stranded_by_site") or {}).items():
+            entry = agg.setdefault(site, {"frames": 0, "envs": 0})
+            entry["frames"] += cell.get("frames", 0)
+            entry["envs"] += cell.get("envs", 0)
+    labelled = [(label, agg) for label, agg in sorted(by_group.items()) if agg]
+    if labelled:
+        s_header, s_rows = strand_site_rows(labelled)
+        parts.append("")
+        parts.append(
+            render_table(f"{title} — stranded frames/envs by mechanism", s_header, s_rows)
+        )
+    if summary:
+        cache = summary.get("cache", {})
+        parts.append("")
+        parts.append(
+            f"{summary.get('n_configs', len(records))} configs on "
+            f"{summary.get('workers', '?')} worker(s) in "
+            f"{summary.get('host_seconds', '?')}s host time; shape cache: "
+            f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+            f"({cache.get('shapes', 0)} shapes); "
+            f"{summary.get('worker_crashes', 0)} worker crashes, "
+            f"{summary.get('violations', 0)} invariant violations"
+        )
+    return "\n".join(parts)

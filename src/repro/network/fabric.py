@@ -313,6 +313,7 @@ class Fabric:
         sim: Simulator,
         placement: Placement,
         jitter: Optional[Callable[[], float]] = None,
+        cost_table: Optional[CostTable] = None,
     ) -> None:
         self.sim = sim
         self.placement = placement
@@ -334,7 +335,12 @@ class Fabric:
         # Job-level shared pricing state: proc → node resolved once, cost
         # models memoized per *node pair* (see CostTable), and per-node
         # cost rows the PMLs share instead of keeping per-proc dicts.
-        self.cost_table = CostTable(placement)
+        # A sweep executor may pass a prebuilt table so same-shape jobs
+        # reuse one memoized pricing resolution (every cached value is a
+        # pure function of the placement, so warmth cannot change results).
+        if cost_table is not None and cost_table.placement is not placement:
+            raise ValueError("cost_table was built for a different placement")
+        self.cost_table = cost_table if cost_table is not None else CostTable(placement)
         self._node_of: List[int] = self.cost_table.node_of
         self.on_crash: List[Callable[[int], None]] = []
         #: free list of recycled Frame instances (see Frame docstring);

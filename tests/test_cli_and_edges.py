@@ -44,6 +44,85 @@ class TestCli:
         records = json.loads(artifact.read_text())
         assert len(records) == 4  # 2 seeds x 2 protocols
         assert all(r["invariant_error"] is None for r in records)
+        # The artifact is written atomically: no temp residue next to it.
+        assert [p.name for p in tmp_path.iterdir()] == ["campaign.json"]
+
+    def test_campaign_rejects_zero_seeds(self, capsys):
+        assert main(["campaign", "--seeds", "0"]) == 2
+        assert "--seeds must be >= 1" in capsys.readouterr().err
+
+
+class TestSweepCli:
+    ARGS = ["sweep", "--protocols", "native", "sdr", "--ranks", "4",
+            "--mixes", "clean", "--seeds", "2"]
+
+    def test_happy_path_with_store_and_report(self, capsys, tmp_path):
+        base = str(tmp_path / "run")
+        assert main(self.ARGS + ["--workers", "2", "--verify", "2",
+                                 "--store", base]) == 0
+        out = capsys.readouterr()
+        assert "outcomes by config group" in out.out
+        assert "verified 2 sampled config(s)" in out.err
+        assert (tmp_path / "run.jsonl").exists()
+        assert (tmp_path / "run.sqlite").exists()
+        # Report-only mode re-renders the same tables from the store.
+        assert main(["sweep", "--report", "--store", base]) == 0
+        assert "outcomes by config group" in capsys.readouterr().out
+
+    def test_invalid_axis_value_exits_2(self, capsys):
+        assert main(["sweep", "--mixes", "cosmic"]) == 2
+        assert "invalid sweep matrix" in capsys.readouterr().err
+        assert main(["sweep", "--ranks", "1"]) == 2
+        assert main(["sweep", "--degrees", "1"]) == 2  # replicated present
+
+    def test_empty_matrix_exits_2(self, capsys):
+        assert main(["sweep", "--seeds", "0"]) == 2
+        assert "--seeds must be >= 1" in capsys.readouterr().err
+
+    def test_store_collision_exits_2(self, capsys, tmp_path):
+        base = str(tmp_path / "run")
+        assert main(self.ARGS + ["--store", base]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--store", base]) == 2
+        assert "already exist" in capsys.readouterr().err
+        assert main(self.ARGS + ["--store", base, "--overwrite"]) == 0
+
+    def test_report_without_store_exits_2(self, capsys):
+        assert main(["sweep", "--report"]) == 2
+        assert "--report requires --store" in capsys.readouterr().err
+
+    def test_report_on_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["sweep", "--report", "--store", str(tmp_path / "ghost")]) == 2
+        assert "no finalized store" in capsys.readouterr().err
+
+    def test_invariant_violation_exits_1(self, capsys, monkeypatch):
+        import repro.harness.sweep as sweep_mod
+        from repro.harness.campaign import RunRecord
+
+        def bad_run_case(protocol, seed, cfg=None, shape=None):
+            return RunRecord(
+                protocol=protocol, seed=seed, outcome="completed",
+                mix={}, metrics={}, stranded_by_site={},
+                invariant_error="arena imbalance", fingerprint="{}",
+            )
+
+        monkeypatch.setattr(sweep_mod, "run_case", bad_run_case)
+        assert main(self.ARGS) == 1
+        assert "INVARIANT VIOLATION" in capsys.readouterr().err
+
+    def test_worker_crash_exits_1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "1")
+        assert main(self.ARGS + ["--workers", "2"]) == 1
+        assert "lost to worker crashes" in capsys.readouterr().err
+
+
+class TestJobShapeGuards:
+    def test_mismatched_shape_rejected(self):
+        from repro.harness.runner import JobShape
+
+        shape = JobShape.build(4)
+        with pytest.raises(ValueError, match="shape"):
+            Job(8, shape=shape)
 
 
 class TestComputeNoise:

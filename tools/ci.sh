@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# CI gate: lint + tier-1 tests + engine bench smoke.
+# CI gate: lint + tier-1 tests + engine bench smoke (+ optional sweep smoke).
 #
-# Usage:  tools/ci.sh               # full gate (lint + tests + quick bench check)
-#         tools/ci.sh --no-bench    # lint + tests only (e.g. docs-only changes)
-#         tools/ci.sh --bench-only  # bench regression gate only (engine-perf work)
-#         tools/ci.sh --paper       # additionally gate the 256-rank paper tier
+# Usage:  tools/ci.sh                # full gate (lint + tests + quick bench check)
+#         tools/ci.sh --no-bench     # lint + tests only (e.g. docs-only changes)
+#         tools/ci.sh --bench-only   # bench regression gate only (engine-perf work)
+#         tools/ci.sh --paper        # additionally gate the 256-rank paper tier
+#         tools/ci.sh --sweep-smoke  # additionally round-trip a tiny sweep matrix
 #
-# Stages:
+# Stages (each is wall-timed; a summary table prints at exit, pass or fail):
 #
-#   lint   ruff check (bug-class rules, see pyproject.toml) + ruff format
-#          --check.  Skipped with a notice when ruff is not installed —
-#          the GitHub workflow always installs it, so the skip only
-#          applies to bare local environments.
-#   tests  the tier-1 pytest suite (ROADMAP.md contract), then a quick
-#          seeded fault-campaign smoke (sdr-mpi campaign --seeds 3): every
-#          run is audited for the zero-leak arena balance, and any
-#          invariant violation fails the gate (docs/fault_model.md).
-#   bench  tools/bench.py --quick --check: fails with a per-workload delta
-#          table when any workload's events/sec drops more than 20% below
-#          the committed snapshot in BENCH_engine.json.  --paper adds the
-#          256-logical-rank SDR collectives smoke at the same tolerance.
+#   lint          ruff check (bug-class rules, see pyproject.toml) + ruff
+#                 format --check.  Skipped with a notice when ruff is not
+#                 installed — the GitHub workflow always installs it, so
+#                 the skip only applies to bare local environments.
+#   tests         the tier-1 pytest suite (ROADMAP.md contract)
+#   campaign      a quick seeded fault-campaign smoke (sdr-mpi campaign
+#                 --seeds 3): every run is audited for the zero-leak arena
+#                 balance, and any invariant violation fails the gate
+#                 (docs/fault_model.md)
+#   sweep-smoke   (--sweep-smoke) a tiny 2-axis sweep matrix on a 2-worker
+#                 pool, round-tripping generate -> execute -> store ->
+#                 query -> table, with 2 configs re-verified against
+#                 serial execution (docs/sweeps.md).  Artifacts land in
+#                 .ci-sweep/ for the workflow to publish.
+#   bench         tools/bench.py --quick --check: fails with a per-workload
+#                 delta table when any workload's events/sec drops more
+#                 than 20% below the committed snapshot in BENCH_engine.json.
+#                 --paper adds the 256-logical-rank SDR collectives smoke
+#                 at the same tolerance.
 #
 # On an intentional engine change, refresh the snapshots with
 #   for t in "" --quick --paper --scale --scale4k --scale8k; do
@@ -36,15 +44,17 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 RUN_TESTS=1
 RUN_BENCH=1
 RUN_PAPER=0
+RUN_SWEEP=0
 for arg in "$@"; do
     case "$arg" in
-        --no-bench)   RUN_BENCH=0 ;;
-        --bench-only) RUN_TESTS=0 ;;
-        --paper)      RUN_PAPER=1 ;;
+        --no-bench)    RUN_BENCH=0 ;;
+        --bench-only)  RUN_TESTS=0 ;;
+        --paper)       RUN_PAPER=1 ;;
+        --sweep-smoke) RUN_SWEEP=1 ;;
         *) echo "tools/ci.sh: unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
-if (( !RUN_TESTS && !RUN_BENCH )); then
+if (( !RUN_TESTS && !RUN_BENCH && !RUN_SWEEP )); then
     echo "tools/ci.sh: --no-bench and --bench-only leave nothing to run" >&2
     exit 2
 fi
@@ -55,8 +65,47 @@ fi
 
 T0=$SECONDS
 
+# ---- per-stage wall-time accounting -----------------------------------
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_T0=0
+
+begin_stage() {
+    CURRENT_STAGE="$1"
+    STAGE_T0=$SECONDS
+    echo "== $2 =="
+}
+
+end_stage() {
+    STAGE_NAMES+=("$CURRENT_STAGE")
+    STAGE_SECS+=("$(( SECONDS - STAGE_T0 ))")
+    CURRENT_STAGE=""
+}
+
+print_stage_summary() {
+    # Runs on every exit — an aborted stage still shows up, marked failed.
+    if [[ -n "$CURRENT_STAGE" ]]; then
+        STAGE_NAMES+=("$CURRENT_STAGE (failed)")
+        STAGE_SECS+=("$(( SECONDS - STAGE_T0 ))")
+    fi
+    if (( ${#STAGE_NAMES[@]} )); then
+        echo
+        echo "stage wall-time summary:"
+        printf '  %-24s %7s\n' "stage" "seconds"
+        printf '  %-24s %7s\n' "------------------------" "-------"
+        local i
+        for i in "${!STAGE_NAMES[@]}"; do
+            printf '  %-24s %7s\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+        done
+        printf '  %-24s %7s\n' "total" "$(( SECONDS - T0 ))"
+    fi
+}
+trap print_stage_summary EXIT
+
+# ---- stages ------------------------------------------------------------
 if (( RUN_TESTS )); then
-    echo "== lint (ruff check + ruff format --check) =="
+    begin_stage lint "lint (ruff check + ruff format --check)"
     if command -v ruff >/dev/null 2>&1; then
         ruff check .
         # Blocking since PR 3: the tree is kept `ruff format`-clean, so
@@ -69,23 +118,44 @@ if (( RUN_TESTS )); then
         echo "   ruff not installed — lint gate SKIPPED (the CI workflow installs it;"
         echo "   'pip install ruff' to run it locally)"
     fi
+    end_stage
 
-    echo "== tier-1 tests =="
+    begin_stage tests "tier-1 tests"
     python -m pytest -x -q
+    end_stage
 
-    echo "== fault-campaign smoke (3 seeded mixes x 5 protocols, audited) =="
+    begin_stage campaign "fault-campaign smoke (3 seeded mixes x 5 protocols, audited)"
     # Exits nonzero on any invariant violation (arena imbalance or a
     # per-site strand sum that fails to reproduce the scalar counters);
     # the degradation table lands in the log.  See docs/fault_model.md.
     python -m repro campaign --seeds 3
+    end_stage
+fi
+
+if (( RUN_SWEEP )); then
+    begin_stage sweep-smoke "sweep smoke (2-axis matrix, 2 workers, store round-trip)"
+    mkdir -p .ci-sweep
+    rm -f .ci-sweep/smoke.jsonl .ci-sweep/smoke.sqlite
+    # Generate -> execute (pooled) -> store -> verify a sample serially.
+    # Nonzero on any invariant violation, worker crash, or fingerprint
+    # mismatch between the pooled run and serial re-execution.
+    python -m repro sweep \
+        --protocols native sdr --ranks 4 --mixes clean full --seeds 2 \
+        --workers 2 --verify 2 --store .ci-sweep/smoke --overwrite \
+        | tee .ci-sweep/smoke-table.txt
+    # Query path: re-render the tables purely from the finalized store.
+    python -m repro sweep --report --store .ci-sweep/smoke > /dev/null
+    end_stage
 fi
 
 if (( RUN_BENCH )); then
-    echo "== engine bench smoke (quick, 20% events/sec regression gate) =="
+    begin_stage bench-quick "engine bench smoke (quick, 20% events/sec regression gate)"
     python tools/bench.py --quick --check --repeats 3
+    end_stage
     if (( RUN_PAPER )); then
-        echo "== engine bench smoke (paper scale: 256 logical ranks) =="
+        begin_stage bench-paper "engine bench smoke (paper scale: 256 logical ranks)"
         python tools/bench.py --paper --check --repeats 2
+        end_stage
     fi
 fi
 

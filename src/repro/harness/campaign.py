@@ -66,6 +66,7 @@ __all__ = [
     "CampaignResult",
     "campaign_app",
     "allreduce_app",
+    "hpccg_app",
     "sample_faults",
     "run_case",
     "run_campaign",
@@ -181,13 +182,65 @@ def allreduce_expected(cfg: CampaignConfig) -> Dict[int, float]:
     return {rank: value for rank in range(cfg.n_ranks)}
 
 
-#: workload axis: name -> (app factory, expected-results function).  Both
+def hpccg_app(mpi, steps: int = 12, state: Optional[RingState] = None):
+    """HPCCG-shaped workload under churn (the paper's Table 2 app).
+
+    Each step is one CG-iteration skeleton, shrunk to campaign scale:
+    a 1-D halo exchange with **ANY_SOURCE** direction-tagged nonblocking
+    receives (the matching pattern that distinguishes HPCCG from the ring
+    workload — under leader-based replication this is exactly the traffic
+    §3.1 says inflates the unexpected queue), followed by the iteration's
+    two allreduces (the dot product's sum and the residual check's max),
+    with a recovery point per step.  Every exchanged value is a small
+    integer-valued float, so the accumulated result is exact in binary
+    floating point and :func:`hpccg_expected` is closed-form.
+    """
+    st = state or RingState()
+    mpi.register_state(st)
+    up = (mpi.rank + 1) % mpi.size
+    down = (mpi.rank - 1) % mpi.size
+    while st.step < steps:
+        k = st.step
+        # Halo faces: tag encodes direction, source stays wild.  Only the
+        # down neighbour ever sends tag 500 (and only the up neighbour
+        # tag 501), so values are deterministic despite ANY_SOURCE.
+        r_lo = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=500)
+        r_hi = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=501)
+        face = np.array([float(mpi.rank * 100 + k)])
+        s_up = yield from mpi.isend(face, dest=up, tag=500)
+        s_down = yield from mpi.isend(face, dest=down, tag=501)
+        yield from mpi.waitall([r_lo, r_hi, s_up, s_down])
+        halo = float(r_lo.data[0]) + float(r_hi.data[0])
+        rtrans = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
+        rmax = yield from mpi.allreduce(float(mpi.rank), op="max")
+        st.acc += halo + float(rtrans) + float(rmax)
+        st.step += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def hpccg_expected(cfg: CampaignConfig) -> Dict[int, float]:
+    """Correct per-logical-rank return value of :func:`hpccg_app`."""
+    n, s = cfg.n_ranks, cfg.steps
+    tri_s = s * (s - 1) / 2.0
+    tri_n = n * (n - 1) / 2.0
+    # per step: sum-allreduce of (rank + k) plus max-allreduce of rank
+    coll = s * tri_n + n * tri_s + s * (n - 1)
+    return {
+        rank: s * 100.0 * (((rank - 1) % n) + ((rank + 1) % n)) + 2.0 * tri_s + coll
+        for rank in range(n)
+    }
+
+
+#: workload axis: name -> (app factory, expected-results function).  All
 #: factories accept ``(mpi, steps=..., state=...)`` so respawned replicas
-#: can fork from a recovery point, and both have closed-form expected
+#: can fork from a recovery point, and all have closed-form expected
 #: values so every run classifies against ground truth.
 WORKLOADS: Dict[str, Tuple[Any, Any]] = {
     "ring": (campaign_app, expected_results),
     "allreduce": (allreduce_app, allreduce_expected),
+    "hpccg": (hpccg_app, hpccg_expected),
 }
 
 

@@ -259,7 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.add_argument("--degrees", type=int, nargs="*", help="replication-degree axis")
     p.add_argument("--ranks", type=int, nargs="*", help="world-size axis")
-    p.add_argument("--workloads", nargs="*", help="workload axis (ring, allreduce)")
+    p.add_argument("--workloads", nargs="*", help="workload axis (ring, allreduce, hpccg)")
     p.add_argument(
         "--mixes", nargs="*", help="fault-mix axis (clean, crash, network, full)"
     )

@@ -26,6 +26,7 @@ from repro.core.sdr import SdrProtocol
 from repro.core.worlds import ReplicaMap
 from repro.mpi.api import MpiProcess
 from repro.mpi.comm import shared_world
+from repro.mpi.datatypes import PayloadInterner
 from repro.mpi.errors import DeadlockError, MpiError
 from repro.mpi.pml import Pml
 from repro.network.fabric import CostTable, Fabric, Frame
@@ -126,6 +127,11 @@ class JobResult:
     fabric: dict
     #: kernel events dispatched (simulation effort metric)
     events: int
+    #: job-wide payload-intern accounting (Job ``interning`` flag): how
+    #: many payload snapshots collapsed onto a canonical object vs passed
+    #: through (uninternable type, first sighting, or table full)
+    payload_interned: int = 0
+    payload_misses: int = 0
     #: ranks that lost every replica (empty on success)
     lost_ranks: List[int] = field(default_factory=list)
     #: strand *attribution*: {site: {"frames": n, "envs": n}} — which
@@ -153,6 +159,9 @@ class Job:
         pooling: bool = True,
         bucketed: bool = True,
         shared_state: bool = True,
+        interning: bool = True,
+        arena_trim: bool = True,
+        matching: str = "indexed",
         detector: Optional[DetectorConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         shape: Optional[JobShape] = None,
@@ -198,6 +207,22 @@ class Job:
         #: way; only the sharing differs.
         self.shared_state = shared_state
         self._world_shared = shape.world_shared if shared_state else None
+        #: ``interning=False`` disables the job-wide payload intern table
+        #: (every snapshot stays a distinct object — the seed-shaped spec
+        #: mode the interning equivalence suite compares against)
+        self.interning = interning
+        self.interner: Optional[PayloadInterner] = PayloadInterner() if interning else None
+        #: ``arena_trim=False`` keeps the free lists growing to their
+        #: all-time peak (the historical behaviour); the trim is pure
+        #: memory policy — both modes are fingerprint-identical
+        self.arena_trim = arena_trim
+        if matching not in ("indexed", "linear"):
+            raise ValueError(
+                f"matching must be 'indexed' or 'linear', got {matching!r}"
+            )
+        #: ``matching="linear"`` runs every PML on :class:`LinearMatchEngine`
+        #: (the executable matching spec) instead of the indexed SoA engine
+        self.matching = matching
         self.fabric = Fabric(self.sim, self.placement, jitter=jitter, cost_table=shape.cost_table)
         self.fabric.pool_frames = pooling
         if fault_plan is not None:
@@ -259,6 +284,8 @@ class Job:
                         self.fabric.endpoints[proc].alive = False
         for proc in range(self.rmap.n_procs):
             self._build_stack(proc)
+        if arena_trim:
+            self._install_trimmer()
         for absent_proc in sorted(self.absent):
             for proc, proto in self.protocols.items():
                 if proc in self.absent:
@@ -268,12 +295,59 @@ class Job:
                     for _ in handler(absent_proc):  # pragma: no cover - no yields at init
                         pass
 
+    #: trim cadence: every TRIM_INTERVAL timestamp advances, trim the
+    #: fabric frame pool plus the next TRIM_PROCS envelope pools
+    #: (round-robin — a full sweep per tick would be O(n_procs) at every
+    #: advance, which 16k-proc runs cannot afford)
+    TRIM_INTERVAL = 256
+    TRIM_PROCS = 64
+
+    def _install_trimmer(self) -> None:
+        """Arm the quiescent-point arena trimmer on the kernel.
+
+        Runs from :attr:`Simulator.on_advance` — between timestamp
+        batches, never mid-batch — so no in-flight owner can hold a shell
+        the trim would drop, and nothing about event order or
+        ``events_dispatched`` changes (the hook is not a scheduled event).
+        Respawns are covered for free: the closure indexes ``self.pmls``
+        live, which always maps every proc to its *current* stack.
+        """
+        pmls = self.pmls
+        fabric = self.fabric
+        n_procs = self.rmap.n_procs
+        interval = self.TRIM_INTERVAL
+        stride = min(self.TRIM_PROCS, n_procs)
+        tick = 0
+        cursor = 0
+
+        def trim() -> None:
+            nonlocal tick, cursor
+            tick += 1
+            if tick < interval:
+                return
+            tick = 0
+            fabric.trim_frame_pool()
+            for _ in range(stride):
+                pmls[cursor].trim_env_pool()
+                cursor += 1
+                if cursor == n_procs:
+                    cursor = 0
+
+        self.sim.on_advance = trim
+
     # ------------------------------------------------------------- plumbing
     def _build_stack(self, proc: int) -> None:
         old_pml = self.pmls.get(proc)
         if old_pml is not None:
             self._retired_stacks.append((old_pml, self.protocols[proc]))
-        pml = Pml(self.sim, self.fabric, proc, shared_costs=self.shared_state)
+        pml = Pml(
+            self.sim,
+            self.fabric,
+            proc,
+            shared_costs=self.shared_state,
+            interner=self.interner,
+            linear_matching=self.matching == "linear",
+        )
         pml.pool_envelopes = self.pooling
         if self.cfg.protocol == "native":
             protocol = NativeProtocol(pml, world_rank=proc)
@@ -436,6 +510,8 @@ class Job:
                 **self.fabric.stats(),
             },
             events=self.sim.events_dispatched,
+            payload_interned=self.interner.hits if self.interner is not None else 0,
+            payload_misses=self.interner.misses if self.interner is not None else 0,
             lost_ranks=lost,
             stranded_by_site=self._strand_attribution(),
         )

@@ -67,9 +67,9 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.mpi.datatypes import copy_payload, nbytes_of
+from repro.mpi.datatypes import PayloadInterner, copy_payload, nbytes_of
 from repro.mpi.errors import MpiError, TruncationError
-from repro.mpi.matching import MatchEngine
+from repro.mpi.matching import LinearMatchEngine, MatchEngine
 from repro.mpi.status import Status
 from repro.network.fabric import Fabric, Frame
 from repro.sim.kernel import Simulator
@@ -358,14 +358,28 @@ class Pml:
         "guard_violations",
         "sends_posted",
         "recvs_posted",
+        "_interner",
+        "env_hw_window",
+        "env_high_water",
+        "env_trimmed",
     )
 
-    def __init__(self, sim: Simulator, fabric: Fabric, proc: int, shared_costs: bool = True) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        proc: int,
+        shared_costs: bool = True,
+        interner: Optional[PayloadInterner] = None,
+        linear_matching: bool = False,
+    ) -> None:
         self.sim = sim
         self.fabric = fabric
         self.proc = proc
         self.endpoint = fabric.endpoint(proc)
-        self.matching = MatchEngine()
+        # linear_matching keeps the seed engine (the executable matching
+        # spec) for whole-job equivalence runs: Job(matching="linear")
+        self.matching = LinearMatchEngine() if linear_matching else MatchEngine()
         self._msg_id = 0
         # outstanding rendezvous state, lazily allocated: eager-only
         # workloads (every small-message tier) never touch it
@@ -433,6 +447,18 @@ class Pml:
         # counters
         self.sends_posted = 0
         self.recvs_posted = 0
+        #: job-wide payload intern table (shared by every PML of a Job;
+        #: ``None`` disables — Job(interning=False) equivalence spec)
+        self._interner = interner
+        # Arena high-water tracking, windowed so the hot path stays one
+        # compare: acquire sites bump ``env_hw_window`` from the current
+        # outstanding count; :meth:`trim_env_pool` folds the window into
+        # ``env_high_water`` and resets it, so after a trim the free list
+        # re-sizes to the *recent* burst height, not the all-time peak.
+        self.env_hw_window = 0
+        self.env_high_water = 0
+        #: pooled shells dropped by quiescent-point trims
+        self.env_trimmed = 0
 
     # ------------------------------------------------------------ utilities
     def _next_msg_id(self) -> int:
@@ -505,7 +531,14 @@ class Pml:
         returned envelope until it injects it (ownership travels with the
         frame) or releases it.
         """
-        self.env_acquired += 1
+        interner = self._interner
+        if interner is not None and data is not None:
+            data = interner.intern(data)
+        acquired = self.env_acquired + 1
+        self.env_acquired = acquired
+        outstanding = acquired - self.env_released - self.env_stranded
+        if outstanding > self.env_hw_window:
+            self.env_hw_window = outstanding
         pool = self._env_pool
         if pool:
             env = pool.pop()
@@ -769,7 +802,11 @@ class Pml:
         replication, so this path is allocation-free at steady state
         (acquire_env inlined — one call per control frame is measurable).
         """
-        self.env_acquired += 1
+        acquired = self.env_acquired + 1
+        self.env_acquired = acquired
+        outstanding = acquired - self.env_released - self.env_stranded
+        if outstanding > self.env_hw_window:
+            self.env_hw_window = outstanding
         pool = self._env_pool
         if pool:
             env = pool.pop()
@@ -1167,8 +1204,39 @@ class Pml:
             "env_stranded": self.env_stranded,
             "env_stranded_by_site": dict(self.env_stranded_by_site or ()),
             "env_pool_size": len(self._env_pool),
+            "env_high_water": max(self.env_high_water, self.env_hw_window),
+            "env_trimmed": self.env_trimmed,
             **self.matching.stats(),
         }
+
+    # Retain a small cushion above the windowed high-water so a burst one
+    # envelope taller than the last window does not immediately re-allocate.
+    TRIM_SLACK = 32
+
+    def trim_env_pool(self) -> int:
+        """Quiescent-point arena trim: cap the free list at the recent burst.
+
+        Called by the harness trimmer from the kernel's ``on_advance`` hook
+        (between timestamp batches, never mid-batch), so no in-flight
+        owner can be holding a shell the trim would drop.  Folds the
+        acquire-side window into the run high-water, drops pooled shells
+        beyond ``window + TRIM_SLACK``, and restarts the window at the
+        currently outstanding count.  Without this, one peak burst sizes
+        the free list for the rest of the run.
+        """
+        window = self.env_hw_window
+        if window > self.env_high_water:
+            self.env_high_water = window
+        pool = self._env_pool
+        bound = window + self.TRIM_SLACK
+        dropped = len(pool) - bound
+        if dropped > 0:
+            del pool[bound:]
+            self.env_trimmed += dropped
+        else:
+            dropped = 0
+        self.env_hw_window = self.env_acquired - self.env_released - self.env_stranded
+        return dropped
 
     def reap(self) -> int:
         """End-of-run teardown: release everything still parked here.

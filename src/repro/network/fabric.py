@@ -354,6 +354,14 @@ class Fabric:
         self.frames_acquired = 0
         self.frames_allocated = 0  # pool misses (fresh constructions)
         self.frames_released = 0
+        # Frame-arena high-water tracking, windowed exactly like the PML
+        # envelope arena (see Pml.trim_env_pool): acquire sites bump the
+        # window, the quiescent-point trimmer folds it into the run
+        # high-water and caps the free list at the recent burst height.
+        self.frame_hw_window = 0
+        self.frame_high_water = 0
+        #: pooled frames dropped by quiescent-point trims
+        self.frames_trimmed = 0
         #: crashes ever injected (sticky; observability — since the strand
         #: accounting below, crashy runs keep the arena-balance proof)
         self.crashes = 0
@@ -422,7 +430,11 @@ class Fabric:
         """Pool-backed frame for out-of-band senders (the failure detector's
         svc frames bypass :meth:`send` — they are not wire traffic — but
         still recycle through the free list so the accounting balances)."""
-        self.frames_acquired += 1
+        acquired = self.frames_acquired + 1
+        self.frames_acquired = acquired
+        outstanding = acquired - self.frames_released - self.frames_stranded
+        if outstanding > self.frame_hw_window:
+            self.frame_hw_window = outstanding
         pool = self._frame_pool
         if pool:
             frame = pool.pop()
@@ -449,7 +461,11 @@ class Fabric:
         replaces the per-message Frame allocation once the pool has warmed
         up.  Returns the arrival time (see :meth:`inject`).
         """
-        self.frames_acquired += 1
+        acquired = self.frames_acquired + 1
+        self.frames_acquired = acquired
+        outstanding = acquired - self.frames_released - self.frames_stranded
+        if outstanding > self.frame_hw_window:
+            self.frame_hw_window = outstanding
         pool = self._frame_pool
         if pool:
             frame = pool.pop()
@@ -496,6 +512,27 @@ class Fabric:
         if self.pool_frames and len(pool) < 4096:
             pool.append(frame)
 
+    # Same cushion rationale as Pml.TRIM_SLACK.
+    TRIM_SLACK = 32
+
+    def trim_frame_pool(self) -> int:
+        """Quiescent-point frame-arena trim (see :meth:`Pml.trim_env_pool`):
+        cap the free list at the recent windowed high-water plus slack,
+        fold the window into the run high-water, restart the window."""
+        window = self.frame_hw_window
+        if window > self.frame_high_water:
+            self.frame_high_water = window
+        pool = self._frame_pool
+        bound = window + self.TRIM_SLACK
+        dropped = len(pool) - bound
+        if dropped > 0:
+            del pool[bound:]
+            self.frames_trimmed += dropped
+        else:
+            dropped = 0
+        self.frame_hw_window = self.frames_acquired - self.frames_released - self.frames_stranded
+        return dropped
+
     def stats(self) -> dict:
         """Free-list accounting (the harness asserts acquired == released
         at the end of every crash-free run) plus wire totals."""
@@ -511,6 +548,8 @@ class Fabric:
             "fault_delays": self.fault_delays,
             "strands_by_site": {k: tuple(v) for k, v in self.strands_by_site.items()},
             "frame_pool_size": len(self._frame_pool),
+            "frame_high_water": max(self.frame_high_water, self.frame_hw_window),
+            "frames_trimmed": self.frames_trimmed,
             "total_frames": self.total_frames,
             "total_bytes": self.total_bytes,
         }

@@ -99,6 +99,7 @@ class Simulator:
         "_running",
         "_stopped",
         "trace_hook",
+        "on_advance",
         "events_dispatched",
     )
 
@@ -115,6 +116,14 @@ class Simulator:
         self._running = False
         self._stopped: Optional[StopSimulation] = None
         self.trace_hook = trace_hook
+        #: quiescent-point hook: a zero-argument callable invoked after all
+        #: events at the current timestamp have fired, just before the
+        #: clock advances.  Deliberately *not* a scheduled event — it never
+        #: touches ``events_dispatched`` or the queue order, so enabling it
+        #: is unobservable to determinism goldens.  The callee must not
+        #: schedule events or raise; the harness uses it to trim arena
+        #: free lists between timestamp batches (Job ``arena_trim``).
+        self.on_advance: Optional[Callable[[], None]] = None
         #: number of events dispatched so far (observability/bench metric)
         self.events_dispatched: int = 0
 
@@ -239,6 +248,9 @@ class Simulator:
                             # Unrouted same-time push (direct heappush by
                             # embedding code): defensive re-drain.
                             continue
+                        advance = self.on_advance
+                        if advance is not None:
+                            advance()
                         self._now = when
                     else:
                         return
@@ -259,6 +271,9 @@ class Simulator:
                     self._now = until
                     return
                 if queue[0][0] != now:
+                    advance = self.on_advance
+                    if advance is not None:
+                        advance()
                     self._now = queue[0][0]
         except StopSimulation as stop:
             self._stopped = stop
@@ -298,6 +313,9 @@ class Simulator:
             if until is not None and when > until:
                 self._now = until
                 return
+            advance = self.on_advance
+            if advance is not None:
+                advance()
             self._now = when
         if until is not None:
             self._now = until

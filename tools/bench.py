@@ -15,6 +15,8 @@ Usage::
     PYTHONPATH=src python tools/bench.py --scale      # 1024-rank nightly smoke
     PYTHONPATH=src python tools/bench.py --scale4k    # 4096-rank nightly smoke
     PYTHONPATH=src python tools/bench.py --scale8k    # 8192-rank nightly smoke
+    PYTHONPATH=src python tools/bench.py --scale16k   # 16384-rank nightly smoke
+    PYTHONPATH=src python tools/bench.py --scale64k   # 65536-rank stretch tier (manual)
     PYTHONPATH=src python tools/bench.py --update     # rewrite BENCH_engine.json
     PYTHONPATH=src python tools/bench.py --check      # fail on >20% events/s regression
                                                       # (warn >15% peak-memory growth)
@@ -38,9 +40,15 @@ per-PR gate, not just per-release sweeps; ``scale`` runs the same shape at
 event count), ``scale4k`` at **4096 logical ranks** (8192 processes,
 ~1M events — affordable at all only since the two-level event queue) and
 ``scale8k`` at **8192 logical ranks** (16384 processes, ~2.3M events —
-affordable only since the flyweight footprint pass) — all too heavy
-per-PR, so the scheduled nightly job in ``.github/workflows/ci.yml``
-owns them.
+affordable only since the flyweight footprint pass), ``scale16k`` at
+**16384 logical ranks** (32768 processes, ~5M events — affordable only
+since the run-time working-set pass: SoA match lanes, payload interning,
+high-water-trimmed arenas) — all too heavy per-PR, so the scheduled
+nightly job in ``.github/workflows/ci.yml`` owns them.  ``scale64k``
+(65536 logical ranks, 131072 processes, ~23M events) is the stretch
+tier: runnable and recorded in the snapshot, but gated manually (run it
+with ``--repeats 1``) because its wall time does not fit the nightly
+budget yet.
 
 Every workload runs **once untimed** before the timed repeats: the first
 execution pays one-off lazy costs (per-channel pricing state, cost-model
@@ -60,7 +68,15 @@ compare it per tier, not per workload).  ``--check`` gates memory
 *advisorily*: a >15% growth of the traced peak over the committed
 snapshot prints a WARNING but never fails the gate (host-dependent
 allocator behaviour should not block PRs; sustained growth shows up in
-the nightly logs).
+the nightly logs) and prints a per-workload memory delta table (traced
+peak + bytes/proc, signed deltas, verdict) mirroring the events/sec gate
+table, so the working-set trajectory is greppable from CI logs.
+
+High-water columns: the warmup result also reports the arena high-water
+marks the trim policy sizes against — ``env_high_water`` summed over
+every PML and the fabric's ``frame_high_water`` — so a tier's snapshot
+records how deep the arenas actually ran, not just how much heap the
+run touched.
 """
 
 from __future__ import annotations
@@ -137,6 +153,28 @@ def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
 
 
 def _workloads(mode: str) -> Dict[str, Callable[[], Any]]:
+    if mode == "scale64k":
+        # Stretch tier: 65536 logical ranks / 131072 simulated processes,
+        # ~23M events.  Runnable since the working-set pass keeps
+        # bytes/proc flat, but its wall time (~tens of minutes with the
+        # tracemalloc warmup) does not fit the nightly budget — run
+        # manually with --repeats 1 and record via --update.
+        return {
+            "sdr-collectives-65536": lambda: _run_job(
+                "sdr", ring_collectives, n_ranks=65536, iters=1, nbytes=4096
+            ),
+        }
+    if mode == "scale16k":
+        # 16384 logical ranks / 32768 simulated processes, ~5M events —
+        # the tier the run-time working-set pass (SoA match lanes, payload
+        # interning, high-water-trimmed arenas) made affordable: before
+        # it, per-PML match-lane deques alone held ~15 KB/proc at steady
+        # state.  Nightly-only.
+        return {
+            "sdr-collectives-16384": lambda: _run_job(
+                "sdr", ring_collectives, n_ranks=16384, iters=1, nbytes=4096
+            ),
+        }
     if mode == "scale8k":
         # 8192 logical ranks / 16384 simulated processes, ~2.3M events —
         # the tier the flyweight footprint pass (shared cost tables, slim
@@ -254,6 +292,11 @@ def measure(fn: Callable[[], Any], repeats: int = 3) -> Dict[str, Any]:
         "mem_traced_peak_mb": round(traced_peak / 1e6, 2),
         "mem_bytes_per_proc": round(traced_peak / n_procs) if n_procs else 0,
         "mem_rss_peak_mb": _rss_peak_mb(),
+        # Arena high-water marks from the warmup run: what the trim policy
+        # sizes the free lists against (docs/performance.md).
+        "env_high_water": int(warm.stat_total("env_high_water")),
+        "frame_high_water": int(warm.fabric.get("frame_high_water", 0)),
+        "payload_interned": int(warm.payload_interned),
     }
 
 
@@ -266,7 +309,8 @@ def run_suite(mode: str, repeats: int = 3) -> Dict[str, Dict[str, Any]]:
             f"{out[name]['host_seconds'] * 1e3:>8.1f} ms   "
             f"{out[name]['events']:>9,d} events   "
             f"{out[name]['mem_traced_peak_mb']:>7.1f} MB peak   "
-            f"{out[name]['mem_bytes_per_proc']:>7,d} B/proc"
+            f"{out[name]['mem_bytes_per_proc']:>7,d} B/proc   "
+            f"hw e/f {out[name]['env_high_water']:,d}/{out[name]['frame_high_water']:,d}"
         )
     return out
 
@@ -285,6 +329,10 @@ def main(argv=None) -> int:
     ap.add_argument("--scale", action="store_true", help="1024-rank nightly-scale smoke")
     ap.add_argument("--scale4k", action="store_true", help="4096-rank nightly-scale smoke")
     ap.add_argument("--scale8k", action="store_true", help="8192-rank nightly-scale smoke")
+    ap.add_argument("--scale16k", action="store_true", help="16384-rank nightly-scale smoke")
+    ap.add_argument(
+        "--scale64k", action="store_true", help="65536-rank stretch tier (manual; use --repeats 1)"
+    )
     ap.add_argument("--check", action="store_true", help="fail on >20%% ev/s regression")
     ap.add_argument("--update", action="store_true", help="rewrite the 'current' snapshot")
     ap.add_argument("--baseline", metavar="LABEL", help="record this run as 'baseline'")
@@ -292,7 +340,9 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     exclusive = [
-        flag for flag in ("quick", "paper", "scale", "scale4k", "scale8k") if getattr(args, flag)
+        flag
+        for flag in ("quick", "paper", "scale", "scale4k", "scale8k", "scale16k", "scale64k")
+        if getattr(args, flag)
     ]
     if len(exclusive) > 1:
         ap.error("--" + " and --".join(exclusive) + " are mutually exclusive")
@@ -375,13 +425,39 @@ def main(argv=None) -> int:
             )
             if not ok:
                 failed.append(name)
-            # Advisory memory gate: the new columns must not rot silently,
-            # but allocator/host variance should never block a PR — warn
-            # on >15% peak growth, gate nothing.
             ref_mem = ref.get("mem_traced_peak_mb")
             fresh_mem = res.get("mem_traced_peak_mb")
             if ref_mem and fresh_mem and fresh_mem > ref_mem * (1.0 + MEM_TOLERANCE):
                 mem_warned.append((name, fresh_mem, ref_mem))
+        # Advisory memory delta table, mirroring the events/sec gate table
+        # above: traced peak and bytes/proc, fresh vs committed with
+        # signed deltas and a verdict column.  Purely advisory — allocator
+        # and host variance should never block a PR — but readable and
+        # greppable from CI logs, so working-set drift cannot rot
+        # silently between --update refreshes.
+        mem_rows = [
+            (name, res, committed.get(name))
+            for name, res in results.items()
+            if committed.get(name) and committed[name].get("mem_traced_peak_mb")
+        ]
+        if mem_rows:
+            mem_header = (
+                f"  {'workload':<22s} {'fresh MB':>9s} {'cmtd MB':>9s} {'delta':>8s} "
+                f"{'fresh B/p':>10s} {'cmtd B/p':>10s} {'delta':>8s}  verdict (advisory)"
+            )
+            print(mem_header)
+            print("  " + "-" * (len(mem_header) - 2))
+            for name, res, ref in mem_rows:
+                d_peak = res["mem_traced_peak_mb"] / ref["mem_traced_peak_mb"] - 1.0
+                ref_bpp = ref.get("mem_bytes_per_proc") or 0
+                bpp = res.get("mem_bytes_per_proc") or 0
+                d_bpp = (bpp / ref_bpp - 1.0) if ref_bpp else 0.0
+                verdict = "MEM GREW" if d_peak > MEM_TOLERANCE else "ok"
+                print(
+                    f"  {name:<22s} {res['mem_traced_peak_mb']:>9.1f} "
+                    f"{ref['mem_traced_peak_mb']:>9.1f} {d_peak:>+7.1%} "
+                    f"{bpp:>10,d} {ref_bpp:>10,d} {d_bpp:>+7.1%}  {verdict}"
+                )
         for name, fresh_mem, ref_mem in mem_warned:
             print(
                 f"WARNING: {name}: traced peak memory {fresh_mem:.1f} MB is "

@@ -11,35 +11,16 @@ compute so the protocol latency is visible, unlike Table 2's
 compute-dominated apps where noise amplification dominates both equally).
 """
 
-import numpy as np
-
 from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
+from repro.scenarios import anysource_fanin
 
 #: rank-scale knob: 8 ranks by default, 256 under REPRO_SCALE=paper
 #: (rounds shrink by the same factor — see benchmarks/conftest.py)
 N_RANKS, _COUNTS = scaled(8, rounds=200)
 ROUNDS = _COUNTS["rounds"]
-
-
-def anysource_fanin(mpi, rounds=200):
-    if mpi.rank == 0:
-        total = 0.0
-        for r in range(rounds):
-            for _ in range(mpi.size - 1):
-                d, st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
-                total += float(d[0])
-            for dst in range(1, mpi.size):
-                yield from mpi.send(np.array([total]), dest=dst, tag=3)
-        return total
-    acc = 0.0
-    for r in range(rounds):
-        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
-        d, _ = yield from mpi.recv(source=0, tag=3)
-        acc = float(d[0])
-    return acc
 
 
 def _run(protocol, n=None, rounds=None):

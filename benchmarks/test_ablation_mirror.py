@@ -14,22 +14,11 @@ from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
-from repro.mpi.datatypes import Phantom
+from repro.scenarios import bandwidth_exchange
 
 #: rank-scale knob: 16 ranks by default, 256 under REPRO_SCALE=paper
 N_RANKS, _COUNTS = scaled(16, iters=30)
 ITERS = _COUNTS["iters"]
-
-
-def bandwidth_exchange(mpi, iters=30, nbytes=512 * 1024):
-    """All ranks stream large halos both ways simultaneously."""
-    payload = Phantom(nbytes)
-    right = (mpi.rank + 1) % mpi.size
-    left = (mpi.rank - 1) % mpi.size
-    for it in range(iters):
-        got, _ = yield from mpi.sendrecv(payload, dest=right, source=left, sendtag=1, recvtag=1)
-        got, _ = yield from mpi.sendrecv(payload, dest=left, source=right, sendtag=2, recvtag=2)
-    return mpi.wtime()
 
 
 def _run(protocol, n=None):

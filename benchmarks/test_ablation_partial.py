@@ -7,29 +7,15 @@ the trade-off: wire traffic and physical resources saved versus exposure
 checkpointing; here we show the replication-side curve.
 """
 
-import numpy as np
-
 from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table, strand_site_rows
 from repro.harness.runner import Job, cluster_for
+from repro.scenarios import stencil
 
 #: rank-scale knob: 16 ranks by default, 256 under REPRO_SCALE=paper
 N_RANKS, _COUNTS = scaled(16, iters=40)
 ITERS = _COUNTS["iters"]
-
-
-def stencil(mpi, iters=40):
-    total = 0.0
-    right = (mpi.rank + 1) % mpi.size
-    left = (mpi.rank - 1) % mpi.size
-    for it in range(iters):
-        got, _ = yield from mpi.sendrecv(
-            np.array([float(mpi.rank + it)]), dest=right, source=left, sendtag=1, recvtag=1
-        )
-        total += float(got[0])
-        yield from mpi.compute(5e-6)
-    return (yield from mpi.allreduce(total, op="sum"))
 
 
 def _run(fraction, n=None):

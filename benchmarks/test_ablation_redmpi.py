@@ -7,41 +7,15 @@ ANY_SOURCE.  We run one deterministic and one ANY_SOURCE variant of the
 same fan-in loop under both protocols.
 """
 
-import numpy as np
-
 from benchmarks.conftest import record, run_once, scaled
 from repro.core.config import ReplicationConfig
 from repro.harness.report import render_table
 from repro.harness.runner import Job, cluster_for
+from repro.scenarios import redmpi_fanin
 
 #: rank-scale knob: 8 ranks by default, 256 under REPRO_SCALE=paper
 N_RANKS, _COUNTS = scaled(8, rounds=150)
 ROUNDS = _COUNTS["rounds"]
-
-
-def fanin(mpi, rounds=150, anonymous=True, compute=30e-6):
-    if mpi.rank == 0:
-        total = 0.0
-        for r in range(rounds):
-            if anonymous:
-                for _ in range(mpi.size - 1):
-                    d, _ = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
-                    total += float(d[0])
-            else:
-                for src in range(1, mpi.size):
-                    d, _ = yield from mpi.recv(source=src, tag=2)
-                    total += float(d[0])
-            yield from mpi.compute(compute)
-            for dst in range(1, mpi.size):
-                yield from mpi.send(np.array([total]), dest=dst, tag=3)
-        return total
-    acc = 0.0
-    for r in range(rounds):
-        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
-        d, _ = yield from mpi.recv(source=0, tag=3)
-        acc = float(d[0])
-        yield from mpi.compute(compute)
-    return acc
 
 
 def _run(protocol, anonymous, n=None):
@@ -51,7 +25,7 @@ def _run(protocol, anonymous, n=None):
     else:
         cfg = ReplicationConfig(degree=2, protocol=protocol)
     job = Job(n, cfg=cfg, cluster=cluster_for(n, cfg.degree))
-    return job.launch(fanin, rounds=ROUNDS, anonymous=anonymous).run()
+    return job.launch(redmpi_fanin, rounds=ROUNDS, anonymous=anonymous).run()
 
 
 def test_redmpi_overhead_grows_with_nondeterminism(benchmark):
@@ -107,7 +81,7 @@ def test_sdc_detection_cost_and_coverage(benchmark):
     def run():
         cfg = ReplicationConfig(degree=2, protocol="redmpi")
         job = Job(4, cfg=cfg, cluster=cluster_for(4, 2))
-        job.launch(fanin, rounds=50, anonymous=False)
+        job.launch(redmpi_fanin, rounds=50, anonymous=False)
         job.protocols[job.rmap.phys(1, 1)].corrupt_next_send(2)
         return job.run()
 

@@ -28,6 +28,7 @@ def ft_rank(
     iters: int = None,
     flops_per_core: float = 2.5e9,
     validate: bool = False,
+    payload_scale: float = 1.0,
 ) -> Generator:
     if validate:
         return (yield from ft_validate_rank(mpi))
@@ -35,8 +36,11 @@ def ft_rank(
     nx, ny, nz = prob.dims
     niter = iters if iters is not None else prob.iterations
     compute = prob.compute_seconds(mpi.size, flops_per_core)
-    # complex128 grid split across ranks; alltoall chunk per peer:
-    total_bytes = nx * ny * nz * 16
+    # complex128 grid split across ranks; alltoall chunk per peer.
+    # ``payload_scale`` shrinks the wire bytes without touching the
+    # message pattern — campaign-scale sweeps use it to fit the class-S
+    # transpose inside the fault-campaign horizon (see repro.scenarios.nas).
+    total_bytes = nx * ny * nz * 16 * payload_scale
     chunk_bytes = total_bytes / (mpi.size * mpi.size)
     chunks = [payload(chunk_bytes) for _ in range(mpi.size)]
     checksum = 0.0

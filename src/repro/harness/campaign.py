@@ -47,26 +47,21 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.config import ReplicationConfig
 from repro.core.membership import DetectorConfig
 from repro.harness.faults import FaultSchedule
 from repro.harness.report import render_table
 from repro.harness.runner import Job, JobShape, cluster_for
 from repro.network.model import FaultPlan, LinkFaultWindow, PartitionWindow
+from repro.scenarios import get_scenario
 from repro.sim.rng import RngRegistry
 
 __all__ = [
     "OUTCOMES",
     "DEFAULT_PROTOCOLS",
-    "WORKLOADS",
     "CampaignConfig",
     "RunRecord",
     "CampaignResult",
-    "campaign_app",
-    "allreduce_app",
-    "hpccg_app",
     "sample_faults",
     "run_case",
     "run_campaign",
@@ -92,7 +87,8 @@ class CampaignConfig:
     n_ranks: int = 4
     degree: int = 2
     steps: int = 12
-    #: workload name (see :data:`WORKLOADS`) — a sweep axis since PR 7
+    #: workload name (a :mod:`repro.scenarios` registry entry) — a sweep
+    #: axis since PR 7, resolved through the scenario registry since PR 9
     workload: str = "ring"
     #: virtual-seconds cap per run (wedged runs stop and audit here)
     horizon: float = 2e-3
@@ -113,140 +109,9 @@ class CampaignConfig:
     )
 
 
-# --------------------------------------------------------------- workload
-class RingState:
-    """Snapshot/restore-able workload state (recovery support, §3.4)."""
-
-    def __init__(self) -> None:
-        self.step = 0
-        self.acc = 0.0
-
-
-def campaign_app(mpi, steps: int = 12, state: Optional[RingState] = None):
-    """Ring exchange under churn: rank r sends ``r·1000 + step`` right and
-    accumulates what arrives from the left, with a recovery point per
-    step so pending respawns can fork.  Expected per-rank result:
-    :func:`expected_results`."""
-    st = state or RingState()
-    mpi.register_state(st)
-    right = (mpi.rank + 1) % mpi.size
-    left = (mpi.rank - 1) % mpi.size
-    while st.step < steps:
-        k = st.step
-        out = np.array([float(mpi.rank * 1000 + k)])
-        if mpi.rank % 2 == 0:
-            yield from mpi.send(out, dest=right, tag=1)
-            got, _ = yield from mpi.recv(source=left, tag=1)
-        else:
-            got, _ = yield from mpi.recv(source=left, tag=1)
-            yield from mpi.send(out, dest=right, tag=1)
-        st.acc += float(got[0])
-        st.step += 1
-        yield from mpi.recovery_point()
-        yield from mpi.compute(1e-6)
-    return st.acc
-
-
-def expected_results(cfg: CampaignConfig) -> Dict[int, float]:
-    """Correct per-logical-rank return value of :func:`campaign_app`."""
-    tri = cfg.steps * (cfg.steps - 1) / 2.0
-    return {
-        rank: ((rank - 1) % cfg.n_ranks) * 1000.0 * cfg.steps + tri
-        for rank in range(cfg.n_ranks)
-    }
-
-
-def allreduce_app(mpi, steps: int = 12, state: Optional[RingState] = None):
-    """Collective workload under churn: every rank contributes ``rank + step``
-    to a sum-allreduce per step and accumulates the global total, with a
-    recovery point per step.  Exercises the protocols' collective paths —
-    the ring workload never leaves pt2pt — so a sweep can ask whether a
-    fault mix that pt2pt absorbs also spares the collective towers."""
-    st = state or RingState()
-    mpi.register_state(st)
-    while st.step < steps:
-        k = st.step
-        total = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
-        st.acc += float(total)
-        st.step += 1
-        yield from mpi.recovery_point()
-        yield from mpi.compute(1e-6)
-    return st.acc
-
-
-def allreduce_expected(cfg: CampaignConfig) -> Dict[int, float]:
-    """Correct per-logical-rank return value of :func:`allreduce_app`."""
-    tri_n = cfg.n_ranks * (cfg.n_ranks - 1) / 2.0
-    tri_s = cfg.steps * (cfg.steps - 1) / 2.0
-    value = cfg.steps * tri_n + cfg.n_ranks * tri_s
-    return {rank: value for rank in range(cfg.n_ranks)}
-
-
-def hpccg_app(mpi, steps: int = 12, state: Optional[RingState] = None):
-    """HPCCG-shaped workload under churn (the paper's Table 2 app).
-
-    Each step is one CG-iteration skeleton, shrunk to campaign scale:
-    a 1-D halo exchange with **ANY_SOURCE** direction-tagged nonblocking
-    receives (the matching pattern that distinguishes HPCCG from the ring
-    workload — under leader-based replication this is exactly the traffic
-    §3.1 says inflates the unexpected queue), followed by the iteration's
-    two allreduces (the dot product's sum and the residual check's max),
-    with a recovery point per step.  Every exchanged value is a small
-    integer-valued float, so the accumulated result is exact in binary
-    floating point and :func:`hpccg_expected` is closed-form.
-    """
-    st = state or RingState()
-    mpi.register_state(st)
-    up = (mpi.rank + 1) % mpi.size
-    down = (mpi.rank - 1) % mpi.size
-    while st.step < steps:
-        k = st.step
-        # Halo faces: tag encodes direction, source stays wild.  Only the
-        # down neighbour ever sends tag 500 (and only the up neighbour
-        # tag 501), so values are deterministic despite ANY_SOURCE.
-        r_lo = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=500)
-        r_hi = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=501)
-        face = np.array([float(mpi.rank * 100 + k)])
-        s_up = yield from mpi.isend(face, dest=up, tag=500)
-        s_down = yield from mpi.isend(face, dest=down, tag=501)
-        yield from mpi.waitall([r_lo, r_hi, s_up, s_down])
-        halo = float(r_lo.data[0]) + float(r_hi.data[0])
-        rtrans = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
-        rmax = yield from mpi.allreduce(float(mpi.rank), op="max")
-        st.acc += halo + float(rtrans) + float(rmax)
-        st.step += 1
-        yield from mpi.recovery_point()
-        yield from mpi.compute(1e-6)
-    return st.acc
-
-
-def hpccg_expected(cfg: CampaignConfig) -> Dict[int, float]:
-    """Correct per-logical-rank return value of :func:`hpccg_app`."""
-    n, s = cfg.n_ranks, cfg.steps
-    tri_s = s * (s - 1) / 2.0
-    tri_n = n * (n - 1) / 2.0
-    # per step: sum-allreduce of (rank + k) plus max-allreduce of rank
-    coll = s * tri_n + n * tri_s + s * (n - 1)
-    return {
-        rank: s * 100.0 * (((rank - 1) % n) + ((rank + 1) % n)) + 2.0 * tri_s + coll
-        for rank in range(n)
-    }
-
-
-#: workload axis: name -> (app factory, expected-results function).  All
-#: factories accept ``(mpi, steps=..., state=...)`` so respawned replicas
-#: can fork from a recovery point, and all have closed-form expected
-#: values so every run classifies against ground truth.
-WORKLOADS: Dict[str, Tuple[Any, Any]] = {
-    "ring": (campaign_app, expected_results),
-    "allreduce": (allreduce_app, allreduce_expected),
-    "hpccg": (hpccg_app, hpccg_expected),
-}
-
-
 # ------------------------------------------------------------- fault mixes
 def sample_faults(
-    seed: int, cfg: CampaignConfig, protocol: str
+    seed: int, cfg: CampaignConfig, protocol: str, respawnable: bool = True
 ) -> Tuple[FaultSchedule, Optional[FaultPlan], Dict[str, Any]]:
     """Deterministically derive one fault mix from *seed*.
 
@@ -254,6 +119,12 @@ def sample_faults(
     and a human-readable summary of what was drawn.  Every draw comes
     from the dedicated ``campaign.faults`` stream, so the mix — like the
     run it shapes — is a pure function of the seed.
+
+    *respawnable* gates the churn and respawn branches for workloads
+    whose app factory cannot fork a replica from a recovery point (no
+    ``state=`` kwarg).  The gate sits outside the draws, so mixes for
+    respawn-capable workloads are unchanged and the non-respawnable
+    variant stays a pure function of ``(seed, respawnable)``.
     """
     rng = RngRegistry(seed).stream("campaign.faults")
     degree = 1 if protocol == "native" else cfg.degree
@@ -272,7 +143,7 @@ def sample_faults(
     # Crash-like faults, sampled exclusively: rolling churn (sdr only —
     # respawns need the recovery manager) or a single replica crash.
     draw = rng.random()
-    if protocol == "sdr" and degree == 2 and draw < cfg.p_churn:
+    if protocol == "sdr" and degree == 2 and respawnable and draw < cfg.p_churn:
         first = int(rng.integers(cfg.n_ranks))
         ranks = [first, (first + 1) % cfg.n_ranks]
         churn = FaultSchedule.rolling_churn(
@@ -287,7 +158,7 @@ def sample_faults(
         at = float(rng.uniform(0.15, 0.6)) * h
         sched.crash(rank, rep, at)
         mix["crash"] = (rank, rep, at)
-        if protocol == "sdr" and degree == 2 and rng.random() < cfg.p_respawn:
+        if protocol == "sdr" and degree == 2 and respawnable and rng.random() < cfg.p_respawn:
             sched.respawn(
                 rank, det.declare_at(at) + declare_lag + float(rng.uniform(0.1, 0.3)) * h
             )
@@ -380,14 +251,16 @@ def run_case(
     values that are pure functions of the shape).
     """
     cfg = cfg or CampaignConfig()
-    if cfg.workload not in WORKLOADS:
-        raise ValueError(f"unknown workload {cfg.workload!r}; have {sorted(WORKLOADS)}")
-    app, expected_fn = WORKLOADS[cfg.workload]
+    scenario = get_scenario(cfg.workload)  # raises ScenarioError (a ValueError)
     degree = 1 if protocol == "native" else cfg.degree
+    scenario.check(cfg.n_ranks, degree)
+    bound = scenario.bind(cfg, seed)
     rcfg = ReplicationConfig(degree=degree, protocol=protocol)
     if shape is None:
         shape = JobShape.build(cfg.n_ranks, rcfg, cluster_for(cfg.n_ranks, degree))
-    sched, plan, mix = sample_faults(seed, cfg, protocol)
+    sched, plan, mix = sample_faults(
+        seed, cfg, protocol, respawnable=scenario.supports_respawn
+    )
     job = Job(
         cfg.n_ranks,
         cfg=rcfg,
@@ -395,8 +268,9 @@ def run_case(
         detector=cfg.detector,
         fault_plan=plan,
         shape=shape,
+        traffic=bound.traffic,
     )
-    job.launch(app, steps=cfg.steps)
+    job.launch(bound.factory, **bound.kwargs)
     sched.apply(job, horizon=cfg.horizon)
 
     outcome: Optional[str] = None
@@ -461,9 +335,18 @@ def run_case(
         "unfinished": len(unfinished),
         "lost_ranks": sorted(membership.lost_ranks),
     }
+    if bound.traffic is not None:
+        # Traffic runs surface request accounting in the fingerprint; the
+        # keys appear only when traffic is active, so closed-loop
+        # fingerprints stay byte-identical to their pre-traffic goldens.
+        metrics.update(bound.traffic.totals())
+        try:
+            bound.traffic.audit()
+        except AssertionError as exc:
+            invariant_error = (invariant_error + "\n" if invariant_error else "") + str(exc)
 
     if outcome is None:
-        expected = expected_fn(cfg)
+        expected = bound.expected
         results = res.app_results if res is not None else {}
         wrong = [
             p for p, val in results.items() if val != expected[job.rmap.rank_of(p)]

@@ -166,7 +166,8 @@ def _cmd_sweep(args) -> int:
         return 2
     kwargs = {"seeds": tuple(range(args.seed_base, args.seed_base + args.seeds)),
               "steps": args.steps}
-    for axis in ("protocols", "degrees", "ranks", "workloads", "mixes"):
+    for axis in ("protocols", "degrees", "ranks", "workloads", "mixes",
+                 "detectors", "intensities"):
         values = getattr(args, axis)
         if values:
             kwargs[axis] = tuple(values)
@@ -257,11 +258,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["native", "sdr", "mirror", "leader", "redmpi"],
         help="protocol axis (default: all five)",
     )
+    from repro.harness.sweep import DETECTOR_PROFILES
+    from repro.scenarios import scenario_names
+
     p.add_argument("--degrees", type=int, nargs="*", help="replication-degree axis")
     p.add_argument("--ranks", type=int, nargs="*", help="world-size axis")
-    p.add_argument("--workloads", nargs="*", help="workload axis (ring, allreduce, hpccg)")
+    p.add_argument(
+        "--workloads", nargs="*",
+        help=f"workload axis ({', '.join(scenario_names())})",
+    )
     p.add_argument(
         "--mixes", nargs="*", help="fault-mix axis (clean, crash, network, full)"
+    )
+    p.add_argument(
+        "--detectors", nargs="*",
+        help=f"failure-detector axis ({', '.join(sorted(DETECTOR_PROFILES))})",
+    )
+    p.add_argument(
+        "--intensities", type=float, nargs="*",
+        help="adversary-intensity axis: scales network fault-window odds (1.0 = as named)",
     )
     p.add_argument("--seeds", type=int, default=3, help="seeds per config group")
     p.add_argument("--seed-base", type=int, default=0, help="first campaign seed")

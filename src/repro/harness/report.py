@@ -14,7 +14,9 @@ __all__ = [
     "render_series",
     "overhead_row",
     "strand_site_rows",
+    "sweep_group_label",
     "sweep_outcome_rows",
+    "traffic_rows",
     "working_set_rows",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
@@ -142,6 +144,26 @@ def working_set_rows(
     return header, rows
 
 
+def sweep_group_label(rec: Mapping[str, object]) -> str:
+    """One sweep record's config-group label: every axis except the seed.
+
+    The detector and intensity segments appear only when the record is off
+    their defaults, so labels from sweeps that never touched those axes
+    (including every stored pre-axis record) render unchanged.
+    """
+    label = (
+        f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
+        f"/{rec['workload']}/{rec['mix']}"
+    )
+    detector = rec.get("detector", "default")
+    if detector != "default":
+        label += f"/{detector}"
+    intensity = rec.get("intensity", 1.0)
+    if intensity != 1.0:
+        label += f"/x{intensity:g}"
+    return label
+
+
 def sweep_outcome_rows(
     records: Sequence[Mapping[str, object]],
     outcomes: Sequence[str],
@@ -157,10 +179,7 @@ def sweep_outcome_rows(
     """
     groups: Dict[str, Dict[str, object]] = {}
     for rec in records:
-        label = (
-            f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
-            f"/{rec['workload']}/{rec['mix']}"
-        )
+        label = sweep_group_label(rec)
         g = groups.setdefault(
             label, {"counts": {o: 0 for o in outcomes}, "runtimes": []}
         )
@@ -185,6 +204,53 @@ def sweep_outcome_rows(
                 *(counts.get(o, 0) for o in outcomes),
                 f"{100.0 * survived / n:.0f}" if n else "-",
                 f"{mean_rt:.3g}",
+            ]
+        )
+    return header, rows
+
+
+def traffic_rows(
+    records: Sequence[Mapping[str, object]],
+) -> Tuple[List[str], List[List[object]]]:
+    """Header + rows of the open-loop traffic ledger, per config group.
+
+    Only records whose metrics carry request accounting (open-loop
+    scenarios) contribute; sums the offered/admitted/rejected/completed/
+    lost request counters over the group's seeds and derives the rejection
+    and loss rates the capacity-planning tables compare.  Returns an empty
+    row list when no record carries traffic — callers can skip the table.
+    Feed to :func:`render_table`.
+    """
+    keys = (
+        "requests_offered", "requests_admitted", "requests_rejected",
+        "requests_completed", "requests_lost",
+    )
+    groups: Dict[str, Dict[str, int]] = {}
+    for rec in records:
+        metrics = rec.get("metrics") or {}
+        if not isinstance(metrics, Mapping) or "requests_offered" not in metrics:
+            continue
+        g = groups.setdefault(sweep_group_label(rec), {k: 0 for k in keys})
+        for k in keys:
+            g[k] += int(metrics.get(k, 0))
+    header = [
+        "config", "offered", "admitted", "rejected", "completed", "lost",
+        "reject%", "loss%",
+    ]
+    rows: List[List[object]] = []
+    for label in sorted(groups):
+        g = groups[label]
+        offered, admitted = g["requests_offered"], g["requests_admitted"]
+        rows.append(
+            [
+                label,
+                offered,
+                admitted,
+                g["requests_rejected"],
+                g["requests_completed"],
+                g["requests_lost"],
+                f"{100.0 * g['requests_rejected'] / offered:.1f}" if offered else "-",
+                f"{100.0 * g['requests_lost'] / admitted:.1f}" if admitted else "-",
             ]
         )
     return header, rows

@@ -132,6 +132,15 @@ class JobResult:
     #: through (uninternable type, first sighting, or table full)
     payload_interned: int = 0
     payload_misses: int = 0
+    #: open-loop traffic accounting (Job ``traffic`` ledger; all zero for
+    #: closed-loop workloads, where no client population exists):
+    #: ``offered == admitted + rejected`` and
+    #: ``admitted == completed + lost`` hold on every audited run
+    requests_offered: int = 0
+    requests_admitted: int = 0
+    requests_rejected: int = 0
+    requests_completed: int = 0
+    requests_lost: int = 0
     #: ranks that lost every replica (empty on success)
     lost_ranks: List[int] = field(default_factory=list)
     #: strand *attribution*: {site: {"frames": n, "envs": n}} — which
@@ -165,8 +174,13 @@ class Job:
         detector: Optional[DetectorConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         shape: Optional[JobShape] = None,
+        traffic: Optional[Any] = None,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
+        #: open-loop request ledger (a ``repro.sim.traffic.TrafficBook``)
+        #: whose totals surface in :class:`JobResult`; ``None`` — the
+        #: default — leaves the result's request columns at zero
+        self.traffic = traffic
         self.n_ranks = n_ranks
         if shape is not None:
             # Reusing a cached shape is only sound when the job would have
@@ -498,6 +512,7 @@ class Job:
         if audit:
             self.audit()
         finished = [t for p, t in self.finish_times.items()]
+        requests = self.traffic.totals() if self.traffic is not None else {}
         return JobResult(
             runtime=max(finished) if finished else self.sim.now,
             finish_times=dict(self.finish_times),
@@ -512,6 +527,11 @@ class Job:
             events=self.sim.events_dispatched,
             payload_interned=self.interner.hits if self.interner is not None else 0,
             payload_misses=self.interner.misses if self.interner is not None else 0,
+            requests_offered=requests.get("requests_offered", 0),
+            requests_admitted=requests.get("requests_admitted", 0),
+            requests_rejected=requests.get("requests_rejected", 0),
+            requests_completed=requests.get("requests_completed", 0),
+            requests_lost=requests.get("requests_lost", 0),
             lost_ranks=lost,
             stranded_by_site=self._strand_attribution(),
         )

@@ -12,10 +12,19 @@ axis                  values
 ``degrees``           replication degree *r* (native always runs r=1 and
                       is emitted once, not once per degree)
 ``ranks``             logical world sizes
-``workloads``         :data:`repro.harness.campaign.WORKLOADS` names
+``workloads``         :mod:`repro.scenarios` registry names — every
+                      ``(workload, ranks)`` pair is checked against the
+                      scenario's rank envelope when the matrix is built
 ``mixes``             named fault-mix profiles (:data:`MIX_PROFILES`)
+``detectors``         named failure-detector configs (:data:`DETECTOR_PROFILES`)
+``intensities``       adversary intensity: scales the network fault-window
+                      probabilities of the mix (1.0 = the mix as named)
 ``seeds``             campaign seeds — one integer reproduces one run
 ====================  =====================================================
+
+Non-cartesian matrices come from :meth:`SweepSpec.explicit`: a literal
+list of configs, validated entry-by-entry at build time, with config
+indices fixed by list order.
 
 — executed serially or across a ``multiprocessing`` worker pool, streamed
 to a :class:`~repro.harness.store.SweepStore`, and rendered as
@@ -46,18 +55,26 @@ from itertools import product
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PROTOCOLS, ReplicationConfig
+from repro.core.membership import DetectorConfig
 from repro.harness.campaign import (
     OUTCOMES,
-    WORKLOADS,
     CampaignConfig,
     run_case,
 )
-from repro.harness.report import render_table, strand_site_rows, sweep_outcome_rows
+from repro.harness.report import (
+    render_table,
+    strand_site_rows,
+    sweep_group_label,
+    sweep_outcome_rows,
+    traffic_rows,
+)
 from repro.harness.runner import JobShape, cluster_for
 from repro.harness.store import SweepStore
+from repro.scenarios import ScenarioError, get_scenario, scenario_names
 
 __all__ = [
     "MIX_PROFILES",
+    "DETECTOR_PROFILES",
     "SweepError",
     "SweepSpec",
     "SweepPoint",
@@ -93,6 +110,39 @@ MIX_PROFILES: Dict[str, Dict[str, float]] = {
     "full": {},
 }
 
+#: named failure-detector configurations — the ``detectors`` axis.
+#: ``default`` is byte-identical to the campaign detector, so sweeps that
+#: never name the axis reproduce their pre-axis fingerprints.
+DETECTOR_PROFILES: Dict[str, DetectorConfig] = {
+    "default": DetectorConfig(
+        heartbeat_period=20e-6, timeout=30e-6, suspicion_threshold=2,
+        notify_attempts=3, notify_backoff=5e-6, notify_drop_p=0.1,
+    ),
+    #: half the heartbeat/timeout, single-miss suspicion — fast but jumpy
+    "eager": DetectorConfig(
+        heartbeat_period=10e-6, timeout=15e-6, suspicion_threshold=1,
+        notify_attempts=3, notify_backoff=5e-6, notify_drop_p=0.1,
+    ),
+    #: slow declaration, three-miss threshold — high latency, few false positives
+    "conservative": DetectorConfig(
+        heartbeat_period=30e-6, timeout=60e-6, suspicion_threshold=3,
+        notify_attempts=3, notify_backoff=5e-6, notify_drop_p=0.1,
+    ),
+    #: default timing but a hostile notification path (40% drop, 2 attempts)
+    "lossy-notify": DetectorConfig(
+        heartbeat_period=20e-6, timeout=30e-6, suspicion_threshold=2,
+        notify_attempts=2, notify_backoff=5e-6, notify_drop_p=0.4,
+    ),
+}
+
+#: the CampaignConfig probabilities the ``intensities`` axis scales —
+#: wire-level adversary knobs only; crash/churn odds stay the mix's own
+_NETWORK_PROBS: Tuple[str, ...] = (
+    "p_drop_window", "p_dup_window", "p_delay_window", "p_partition",
+)
+
+_DEFAULT_CFG = CampaignConfig()
+
 #: test seam: a worker whose task index equals this env var hard-exits,
 #: standing in for the OOM-kill/segfault class of failures the pool must
 #: survive (see tests/test_sweep.py::test_worker_crash_keeps_draining)
@@ -117,18 +167,34 @@ class SweepPoint:
     steps: int = 12
     horizon: float = 2e-3
     active: float = 60e-6
+    detector: str = "default"
+    intensity: float = 1.0
 
     @property
     def effective_degree(self) -> int:
         return 1 if self.protocol == "native" else self.degree
 
     def label(self) -> str:
-        return (
+        base = (
             f"{self.protocol}/r{self.effective_degree}/n{self.n_ranks}"
-            f"/{self.workload}/{self.mix}/s{self.seed}"
+            f"/{self.workload}/{self.mix}"
         )
+        # detector/intensity segments appear only off their defaults, so
+        # pre-axis labels (pinned by tests and report consumers) survive
+        if self.detector != "default":
+            base += f"/{self.detector}"
+        if self.intensity != 1.0:
+            base += f"/x{self.intensity:g}"
+        return f"{base}/s{self.seed}"
 
     def campaign_config(self) -> CampaignConfig:
+        overrides: Dict[str, Any] = dict(MIX_PROFILES[self.mix])
+        if self.intensity != 1.0:
+            for key in _NETWORK_PROBS:
+                p = overrides.get(key, getattr(_DEFAULT_CFG, key))
+                overrides[key] = min(1.0, p * self.intensity)
+        if self.detector != "default":
+            overrides["detector"] = DETECTOR_PROFILES[self.detector]
         return CampaignConfig(
             n_ranks=self.n_ranks,
             degree=self.degree,
@@ -136,7 +202,7 @@ class SweepPoint:
             workload=self.workload,
             horizon=self.horizon,
             active=self.active,
-            **MIX_PROFILES[self.mix],
+            **overrides,
         )
 
 
@@ -154,26 +220,197 @@ def _check_axis(name: str, values: Sequence[Any], kind: type, minimum: int) -> N
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A validated config matrix (cartesian product of explicit-list axes)."""
+    """A validated config matrix.
+
+    The default mode is the cartesian product of the explicit-list axes;
+    :meth:`explicit` builds the non-cartesian variant (a literal list of
+    configs with indices fixed by list order).  Either way, the whole
+    matrix is validated when it is built.
+    """
 
     protocols: Tuple[str, ...] = PROTOCOLS
     degrees: Tuple[int, ...] = (2,)
     ranks: Tuple[int, ...] = (4,)
     workloads: Tuple[str, ...] = ("ring",)
     mixes: Tuple[str, ...] = ("full",)
+    detectors: Tuple[str, ...] = ("default",)
+    intensities: Tuple[float, ...] = (1.0,)
     seeds: Tuple[int, ...] = (0, 1, 2)
     steps: int = 12
     horizon: float = 2e-3
     active: float = 60e-6
+    #: non-cartesian mode: when set, this literal config list *is* the
+    #: matrix and the axis tuples above are ignored for enumeration
+    configs: Optional[Tuple[SweepPoint, ...]] = None
 
     def __post_init__(self) -> None:
         # Normalize every axis (ranges, lists, generators) to a tuple so the
         # spec is hashable, picklable, and iterable more than once.
-        for axis in ("protocols", "degrees", "ranks", "workloads", "mixes", "seeds"):
+        for axis in (
+            "protocols", "degrees", "ranks", "workloads",
+            "mixes", "detectors", "intensities", "seeds",
+        ):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        if self.configs is not None:
+            object.__setattr__(self, "configs", tuple(self.configs))
+
+    @classmethod
+    def explicit(
+        cls,
+        entries: Sequence[Dict[str, Any]],
+        steps: int = 12,
+        horizon: float = 2e-3,
+        active: float = 60e-6,
+    ) -> "SweepSpec":
+        """Build a non-cartesian matrix from a literal list of configs.
+
+        Each entry is a dict with the per-config keys (``protocol``,
+        ``n_ranks``, ``seed`` required; ``degree``/``workload``/``mix``/
+        ``detector``/``intensity`` defaulted like the cartesian axes).
+        Config indices are the list positions — stable across runs, so a
+        stored sweep and its re-execution agree on ``config #17``.  The
+        whole list is validated here, at build time.
+        """
+        if not entries:
+            raise SweepError("explicit matrix is empty — nothing to sweep")
+        allowed = {
+            "protocol", "degree", "n_ranks", "workload",
+            "mix", "seed", "detector", "intensity",
+        }
+        points: List[SweepPoint] = []
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise SweepError(f"explicit config #{i}: expected a dict, got {entry!r}")
+            unknown = set(entry) - allowed
+            if unknown:
+                raise SweepError(
+                    f"explicit config #{i}: unknown keys {sorted(unknown)}; "
+                    f"have {sorted(allowed)}"
+                )
+            missing = {"protocol", "n_ranks", "seed"} - set(entry)
+            if missing:
+                raise SweepError(
+                    f"explicit config #{i}: missing required keys {sorted(missing)}"
+                )
+            points.append(
+                SweepPoint(
+                    index=i,
+                    protocol=entry["protocol"],
+                    degree=entry.get("degree", 2),
+                    n_ranks=entry["n_ranks"],
+                    workload=entry.get("workload", "ring"),
+                    mix=entry.get("mix", "full"),
+                    seed=entry["seed"],
+                    steps=steps,
+                    horizon=horizon,
+                    active=active,
+                    detector=entry.get("detector", "default"),
+                    intensity=entry.get("intensity", 1.0),
+                )
+            )
+        spec = cls(
+            protocols=tuple(dict.fromkeys(p.protocol for p in points)),
+            degrees=tuple(sorted({p.degree for p in points})),
+            ranks=tuple(sorted({p.n_ranks for p in points})),
+            workloads=tuple(dict.fromkeys(p.workload for p in points)),
+            mixes=tuple(dict.fromkeys(p.mix for p in points)),
+            detectors=tuple(dict.fromkeys(p.detector for p in points)),
+            intensities=tuple(dict.fromkeys(p.intensity for p in points)),
+            seeds=tuple(dict.fromkeys(p.seed for p in points)),
+            steps=steps,
+            horizon=horizon,
+            active=active,
+            configs=tuple(points),
+        )
+        return spec.validate()
+
+    def _check_workload_envelopes(self) -> None:
+        """Every (workload, ranks, degree) combination the matrix will
+        emit must satisfy the scenario's envelope — checked here, at
+        build time, like every other axis."""
+        for w in self.workloads:
+            try:
+                scenario = get_scenario(w)
+            except ScenarioError:
+                raise SweepError(
+                    f"axis 'workloads': unknown {w!r}; have {scenario_names()}"
+                ) from None
+            for n in self.ranks:
+                for protocol in self.protocols:
+                    for degree in self.degrees:
+                        eff = 1 if protocol == "native" else degree
+                        try:
+                            scenario.check(n, eff)
+                        except ScenarioError as exc:
+                            raise SweepError(
+                                f"axis 'workloads': {w!r} cannot run at "
+                                f"n_ranks={n}: {exc}"
+                            ) from None
+
+    def _validate_explicit(self) -> "SweepSpec":
+        """Entry-by-entry validation of a non-cartesian matrix.  Checked
+        per config, not per derived axis union — an explicit list may
+        legally pair ``mg`` at 8 ranks with ``ring`` at 4."""
+        assert self.configs is not None
+        for i, point in enumerate(self.configs):
+            where = f"explicit config #{i}"
+            if point.index != i:
+                raise SweepError(
+                    f"{where}: index {point.index} does not match its list position"
+                )
+            if point.protocol not in PROTOCOLS:
+                raise SweepError(
+                    f"{where}: unknown protocol {point.protocol!r}; have {PROTOCOLS}"
+                )
+            if not isinstance(point.degree, int) or isinstance(point.degree, bool):
+                raise SweepError(f"{where}: degree {point.degree!r} is not int")
+            if point.protocol != "native" and point.degree < 2:
+                raise SweepError(
+                    f"{where}: degree {point.degree} is below the minimum 2"
+                )
+            if not isinstance(point.n_ranks, int) or point.n_ranks < 2:
+                raise SweepError(
+                    f"{where}: n_ranks {point.n_ranks!r} is below the minimum 2"
+                )
+            if point.mix not in MIX_PROFILES:
+                raise SweepError(
+                    f"{where}: unknown mix {point.mix!r}; have {sorted(MIX_PROFILES)}"
+                )
+            if point.detector not in DETECTOR_PROFILES:
+                raise SweepError(
+                    f"{where}: unknown detector {point.detector!r}; "
+                    f"have {sorted(DETECTOR_PROFILES)}"
+                )
+            if isinstance(point.intensity, bool) or not isinstance(
+                point.intensity, (int, float)
+            ) or not point.intensity > 0:
+                raise SweepError(f"{where}: intensity {point.intensity!r} must be > 0")
+            if not isinstance(point.seed, int) or isinstance(point.seed, bool) or point.seed < 0:
+                raise SweepError(f"{where}: seed {point.seed!r} must be an int >= 0")
+            try:
+                scenario = get_scenario(point.workload)
+            except ScenarioError:
+                raise SweepError(
+                    f"{where}: unknown workload {point.workload!r}; "
+                    f"have {scenario_names()}"
+                ) from None
+            try:
+                scenario.check(point.n_ranks, point.effective_degree)
+            except ScenarioError as exc:
+                raise SweepError(f"{where}: {exc}") from None
+        return self
 
     def validate(self) -> "SweepSpec":
         """Full build-time validation; returns self for chaining."""
+        if self.steps < 1:
+            raise SweepError(f"steps must be >= 1, got {self.steps}")
+        if not (0 < self.active <= self.horizon):
+            raise SweepError(
+                f"need 0 < active <= horizon, got active={self.active} "
+                f"horizon={self.horizon}"
+            )
+        if self.configs is not None:
+            return self._validate_explicit()
         _check_axis("protocols", self.protocols, str, 0)
         for p in self.protocols:
             if p not in PROTOCOLS:
@@ -182,25 +419,31 @@ class SweepSpec:
         _check_axis("degrees", self.degrees, int, 2 if replicated else 1)
         _check_axis("ranks", self.ranks, int, 2)
         _check_axis("workloads", self.workloads, str, 0)
-        for w in self.workloads:
-            if w not in WORKLOADS:
-                raise SweepError(
-                    f"axis 'workloads': unknown {w!r}; have {sorted(WORKLOADS)}"
-                )
         _check_axis("mixes", self.mixes, str, 0)
         for m in self.mixes:
             if m not in MIX_PROFILES:
                 raise SweepError(
                     f"axis 'mixes': unknown {m!r}; have {sorted(MIX_PROFILES)}"
                 )
-        _check_axis("seeds", self.seeds, int, 0)
-        if self.steps < 1:
-            raise SweepError(f"steps must be >= 1, got {self.steps}")
-        if not (0 < self.active <= self.horizon):
+        _check_axis("detectors", self.detectors, str, 0)
+        for d in self.detectors:
+            if d not in DETECTOR_PROFILES:
+                raise SweepError(
+                    f"axis 'detectors': unknown {d!r}; have {sorted(DETECTOR_PROFILES)}"
+                )
+        if not self.intensities:
+            raise SweepError("axis 'intensities' is empty — nothing to sweep")
+        for x in self.intensities:
+            if isinstance(x, bool) or not isinstance(x, (int, float)):
+                raise SweepError(f"axis 'intensities': {x!r} is not a number")
+            if not x > 0:
+                raise SweepError(f"axis 'intensities': {x} must be > 0")
+        if len(set(self.intensities)) != len(self.intensities):
             raise SweepError(
-                f"need 0 < active <= horizon, got active={self.active} "
-                f"horizon={self.horizon}"
+                f"axis 'intensities' has duplicate values: {list(self.intensities)}"
             )
+        _check_axis("seeds", self.seeds, int, 0)
+        self._check_workload_envelopes()
         return self
 
     @property
@@ -208,18 +451,21 @@ class SweepSpec:
         return len(self.points())
 
     def points(self) -> List[SweepPoint]:
-        """The matrix, enumerated in deterministic axis-major order.
+        """The matrix, enumerated in deterministic axis-major order (or,
+        for an explicit spec, in list order).
 
         ``native`` ignores the degree axis (it always runs r=1), so it is
-        emitted once per (ranks, workload, mix, seed) combination instead
-        of once per degree — a sweep never wastes runs on duplicate
-        configs that would fingerprint identically.
+        emitted once per (ranks, workload, mix, detector, intensity, seed)
+        combination instead of once per degree — a sweep never wastes runs
+        on duplicate configs that would fingerprint identically.
         """
         self.validate()
+        if self.configs is not None:
+            return list(self.configs)
         points: List[SweepPoint] = []
-        for protocol, degree, n_ranks, workload, mix, seed in product(
-            self.protocols, self.degrees, self.ranks,
-            self.workloads, self.mixes, self.seeds,
+        for protocol, degree, n_ranks, workload, mix, detector, intensity, seed in product(
+            self.protocols, self.degrees, self.ranks, self.workloads,
+            self.mixes, self.detectors, self.intensities, self.seeds,
         ):
             if protocol == "native" and degree != self.degrees[0]:
                 continue
@@ -235,22 +481,37 @@ class SweepSpec:
                     steps=self.steps,
                     horizon=self.horizon,
                     active=self.active,
+                    detector=detector,
+                    intensity=intensity,
                 )
             )
         return points
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "protocols": list(self.protocols),
             "degrees": list(self.degrees),
             "ranks": list(self.ranks),
             "workloads": list(self.workloads),
             "mixes": list(self.mixes),
+            "detectors": list(self.detectors),
+            "intensities": list(self.intensities),
             "seeds": list(self.seeds),
             "steps": self.steps,
             "horizon": self.horizon,
             "active": self.active,
         }
+        if self.configs is not None:
+            out["explicit"] = [
+                {
+                    "protocol": p.protocol, "degree": p.degree,
+                    "n_ranks": p.n_ranks, "workload": p.workload,
+                    "mix": p.mix, "seed": p.seed,
+                    "detector": p.detector, "intensity": p.intensity,
+                }
+                for p in self.configs
+            ]
+        return out
 
 
 # ---------------------------------------------------------------- execution
@@ -299,6 +560,8 @@ def _execute_point(point: SweepPoint, cache: Optional[ShapeCache] = None) -> Dic
         "n_ranks": point.n_ranks,
         "workload": point.workload,
         "mix": point.mix,
+        "detector": point.detector,
+        "intensity": point.intensity,
         "seed": point.seed,
         "outcome": rec.outcome,
         "faults_drawn": {k: v for k, v in rec.mix.items()},
@@ -320,6 +583,8 @@ def _error_record(point: SweepPoint, error: str) -> Dict[str, Any]:
         "n_ranks": point.n_ranks,
         "workload": point.workload,
         "mix": point.mix,
+        "detector": point.detector,
+        "intensity": point.intensity,
         "seed": point.seed,
         "outcome": "failed",
         "faults_drawn": {},
@@ -593,17 +858,23 @@ def render_sweep_report(
     title: str = "Sweep",
 ) -> str:
     """Paper-style tables from sweep records (live result or store query):
-    the per-group outcome matrix with survival rates, and the per-mechanism
-    strand attribution columns (``strand_site_rows``)."""
+    the per-group outcome matrix with survival rates, the per-mechanism
+    strand attribution columns (``strand_site_rows``), and — when any
+    record carries open-loop request accounting — the traffic ledger
+    (``traffic_rows``)."""
     header, rows = sweep_outcome_rows(records, OUTCOMES)
     parts = [render_table(f"{title} — outcomes by config group", header, rows)]
 
+    t_header, t_rows = traffic_rows(records)
+    if t_rows:
+        parts.append("")
+        parts.append(
+            render_table(f"{title} — open-loop traffic by config group", t_header, t_rows)
+        )
+
     by_group: Dict[str, Dict[str, Dict[str, int]]] = {}
     for rec in records:
-        label = (
-            f"{rec['protocol']}/r{rec['degree']}/n{rec['n_ranks']}"
-            f"/{rec['workload']}/{rec['mix']}"
-        )
+        label = sweep_group_label(rec)
         agg = by_group.setdefault(label, {})
         for site, cell in (rec.get("stranded_by_site") or {}).items():
             entry = agg.setdefault(site, {"frames": 0, "envs": 0})

@@ -1,0 +1,70 @@
+"""Scenario registry: the single workload abstraction (docs/workloads.md).
+
+Importing this package registers every in-tree scenario family:
+
+* :mod:`repro.scenarios.spmd` — ring / allreduce / hpccg (the original
+  campaign workloads);
+* :mod:`repro.scenarios.ablation` — anysource / collectives (the bench
+  and ablation-driver shapes), plus the shared ablation workload
+  functions;
+* :mod:`repro.scenarios.nas` — the NAS kernels mg / cg / ft at campaign
+  scale;
+* :mod:`repro.scenarios.traffic` — the open-loop client-traffic family
+  (traffic-poisson / traffic-bursty / traffic-diurnal).
+
+Out-of-tree workloads register the same way: subclass or instantiate
+:class:`~repro.scenarios.base.Scenario` and call
+:func:`~repro.scenarios.base.register` at import time.
+"""
+
+from repro.scenarios.base import (
+    BoundScenario,
+    ClosedLoopScenario,
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    register,
+    scenario_names,
+    scenarios,
+)
+from repro.scenarios.spmd import (
+    RingState,
+    allreduce_app,
+    allreduce_expected,
+    campaign_app,
+    expected_results,
+    hpccg_app,
+    hpccg_expected,
+)
+from repro.scenarios.ablation import (
+    anysource_fanin,
+    bandwidth_exchange,
+    redmpi_fanin,
+    ring_collectives,
+    stencil,
+)
+from repro.scenarios import nas as _nas  # noqa: F401  (registers mg/cg/ft)
+from repro.scenarios import traffic as _traffic  # noqa: F401  (registers traffic-*)
+
+__all__ = [
+    "BoundScenario",
+    "ClosedLoopScenario",
+    "Scenario",
+    "ScenarioError",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "scenarios",
+    "RingState",
+    "campaign_app",
+    "expected_results",
+    "allreduce_app",
+    "allreduce_expected",
+    "hpccg_app",
+    "hpccg_expected",
+    "anysource_fanin",
+    "ring_collectives",
+    "bandwidth_exchange",
+    "redmpi_fanin",
+    "stencil",
+]

@@ -1,0 +1,143 @@
+"""Bench/ablation workload scenarios, shared by every driver.
+
+These used to live as private copies in ``tools/bench.py`` and the
+``benchmarks/test_ablation_*.py`` drivers; the scenario registry makes
+them one definition each.  ``tests/test_determinism_regression.py``
+imports the same functions, so the goldens pin exactly the workload
+shapes ``BENCH_engine.json``'s trajectory is measured on.
+
+``anysource`` and ``collectives`` are additionally registered as
+sweepable scenarios (closed-form expecteds; no ``state=`` support, so
+the fault sampler never draws respawns/churn for them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.mpi.datatypes import Phantom
+from repro.scenarios.base import ClosedLoopScenario, register
+
+__all__ = [
+    "anysource_fanin",
+    "ring_collectives",
+    "bandwidth_exchange",
+    "redmpi_fanin",
+    "stencil",
+]
+
+
+def anysource_fanin(mpi, rounds=100):
+    """The leader-ablation workload: ANY_SOURCE fan-in/fan-out (§3.1)."""
+    if mpi.rank == 0:
+        total = 0.0
+        for _ in range(rounds):
+            for _ in range(mpi.size - 1):
+                d, _st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
+                total += float(d[0])
+            for dst in range(1, mpi.size):
+                yield from mpi.send(np.array([total]), dest=dst, tag=3)
+        return total
+    acc = 0.0
+    for _ in range(rounds):
+        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
+        d, _ = yield from mpi.recv(source=0, tag=3)
+        acc = float(d[0])
+    return acc
+
+
+def anysource_expected(cfg) -> Dict[int, float]:
+    """Per-rank return of :func:`anysource_fanin` with ``rounds=cfg.steps``:
+    every round adds the integer fan-in sum, so all ranks converge on
+    ``rounds * n(n-1)/2`` (exact in binary floating point)."""
+    tri = cfg.n_ranks * (cfg.n_ranks - 1) / 2.0
+    return {rank: cfg.steps * tri for rank in range(cfg.n_ranks)}
+
+
+def ring_collectives(mpi, iters=40, nbytes=65536):
+    """Modeled-payload ring sendrecv + allreduce (collective/rendezvous path)."""
+    acc = 0.0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for _ in range(iters):
+        yield from mpi.sendrecv(Phantom(nbytes), dest=right, source=left, sendtag=1)
+        s = yield from mpi.allreduce(float(mpi.rank), op="sum")
+        acc += float(s)
+        yield from mpi.compute(1e-6)
+    return acc
+
+
+def collectives_expected(cfg) -> Dict[int, float]:
+    """Per-rank return of :func:`ring_collectives` with ``iters=cfg.steps``."""
+    tri = cfg.n_ranks * (cfg.n_ranks - 1) / 2.0
+    return {rank: cfg.steps * tri for rank in range(cfg.n_ranks)}
+
+
+def bandwidth_exchange(mpi, iters=30, nbytes=512 * 1024):
+    """All ranks stream large halos both ways simultaneously (the mirror
+    ablation's bandwidth workload)."""
+    payload = Phantom(nbytes)
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for it in range(iters):
+        got, _ = yield from mpi.sendrecv(payload, dest=right, source=left, sendtag=1, recvtag=1)
+        got, _ = yield from mpi.sendrecv(payload, dest=left, source=right, sendtag=2, recvtag=2)
+    return mpi.wtime()
+
+
+def redmpi_fanin(mpi, rounds=150, anonymous=True, compute=30e-6):
+    """The redMPI ablation's fan-in: wildcard vs named sources under
+    per-round compute (non-determinism sensitivity, §2.3)."""
+    if mpi.rank == 0:
+        total = 0.0
+        for r in range(rounds):
+            if anonymous:
+                for _ in range(mpi.size - 1):
+                    d, _ = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
+                    total += float(d[0])
+            else:
+                for src in range(1, mpi.size):
+                    d, _ = yield from mpi.recv(source=src, tag=2)
+                    total += float(d[0])
+            yield from mpi.compute(compute)
+            for dst in range(1, mpi.size):
+                yield from mpi.send(np.array([total]), dest=dst, tag=3)
+        return total
+    acc = 0.0
+    for r in range(rounds):
+        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
+        d, _ = yield from mpi.recv(source=0, tag=3)
+        acc = float(d[0])
+        yield from mpi.compute(compute)
+    return acc
+
+
+def stencil(mpi, iters=40):
+    """1-D stencil sweep ending in one sum-allreduce (the partial-
+    replication ablation's workload)."""
+    total = 0.0
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for it in range(iters):
+        got, _ = yield from mpi.sendrecv(
+            np.array([float(mpi.rank + it)]), dest=right, source=left, sendtag=1, recvtag=1
+        )
+        total += float(got[0])
+        yield from mpi.compute(5e-6)
+    return (yield from mpi.allreduce(total, op="sum"))
+
+
+register(ClosedLoopScenario(
+    "anysource",
+    "ANY_SOURCE fan-in/fan-out rounds (leader-ablation shape)",
+    anysource_fanin, anysource_expected,
+    kwargs_fn=lambda cfg: {"rounds": cfg.steps},
+))
+register(ClosedLoopScenario(
+    "collectives",
+    "modeled-payload ring sendrecv + allreduce per iteration",
+    ring_collectives, collectives_expected,
+    kwargs_fn=lambda cfg: {"iters": cfg.steps, "nbytes": 4096},
+))

@@ -1,0 +1,96 @@
+"""NAS kernels (mg, cg, ft) as sweepable scenarios.
+
+The communication skeletons live in :mod:`repro.apps.nas`; this module
+wraps them with the campaign-scale binding and the closed-form expected
+results the degradation taxonomy classifies against:
+
+* **compute scaling** — the kernels model class-S compute for 2.5 GF/s
+  cores, which alone (~10⁻¹ s/iteration) dwarfs the campaign's 2 ms
+  horizon.  The scenario binding models :data:`CAMPAIGN_FLOPS_PER_CORE`
+  (10⁴× faster cores) so a class-S iteration fits the campaign's fault
+  window while the message pattern stays untouched — the virtual-time
+  ratio between protocols, not the absolute seconds, is what sweeps
+  compare.
+* **rank envelopes** — ``mg`` needs a 3-D processor grid with every
+  dimension ≥ 2 (a dimension of 1 would make a face partner the rank
+  itself), hence ≥ 8 power-of-two ranks; ``cg`` needs the 2-D grid and
+  power-of-two ranks for its exact rho recurrence; ``ft``'s all-to-all
+  accepts any world ≥ 2.  The envelopes are enforced when the sweep
+  matrix is built.
+* **expected values** — ``mg``/``ft`` return their final iteration-index
+  sum-allreduce: ``(steps - 1) · n`` exactly (small integers).  ``cg``
+  returns the rho recurrence ``rho' = allreduce(rho · 0.99)``; with
+  identical contributions and a power-of-two world, recursive doubling
+  sums n equal addends exactly, so the recurrence replays in pure Python
+  as ``rho = (rho * 0.99) * n``.
+
+The kernels take no ``state=`` (no recovery forks), so
+``supports_respawn=False`` keeps the fault sampler from drawing
+churn/respawn mixes for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.nas.cg import cg_rank
+from repro.apps.nas.ft import ft_rank
+from repro.apps.nas.mg import mg_rank
+from repro.scenarios.base import ClosedLoopScenario, register
+
+__all__ = ["CAMPAIGN_FLOPS_PER_CORE", "CAMPAIGN_FT_PAYLOAD_SCALE"]
+
+#: modelled core speed for campaign-scale NAS runs (see module docstring)
+CAMPAIGN_FLOPS_PER_CORE = 2.5e13
+
+#: ft's class-S transpose moves 256 KB per peer per iteration — hundreds
+#: of times the campaign horizon's drain capacity.  Scaling the wire
+#: bytes (pattern untouched: same chunks, same peers, same collective
+#: schedule) keeps the all-to-all stress representative at campaign scale.
+CAMPAIGN_FT_PAYLOAD_SCALE = 1.0 / 512.0
+
+
+def _nas_kwargs(cfg) -> Dict[str, object]:
+    return {
+        "klass": "S",
+        "iters": cfg.steps,
+        "flops_per_core": CAMPAIGN_FLOPS_PER_CORE,
+    }
+
+
+def _ft_kwargs(cfg) -> Dict[str, object]:
+    return {**_nas_kwargs(cfg), "payload_scale": CAMPAIGN_FT_PAYLOAD_SCALE}
+
+
+def _iteration_sum_expected(cfg) -> Dict[int, float]:
+    """mg/ft both end on ``allreduce(float(steps - 1), sum)``."""
+    value = float((cfg.steps - 1) * cfg.n_ranks)
+    return {rank: value for rank in range(cfg.n_ranks)}
+
+
+def _cg_expected(cfg) -> Dict[int, float]:
+    """Pure-Python replay of cg's rho recurrence (exact for 2^k ranks)."""
+    rho = 1.0
+    for _ in range(cfg.steps):
+        rho = (rho * 0.99) * cfg.n_ranks
+    return {rank: rho for rank in range(cfg.n_ranks)}
+
+
+register(ClosedLoopScenario(
+    "mg",
+    "NAS MG V-cycles: six-face halos per level + residual allreduce",
+    mg_rank, _iteration_sum_expected, kwargs_fn=_nas_kwargs,
+    min_ranks=8, pow2_ranks=True,
+))
+register(ClosedLoopScenario(
+    "cg",
+    "NAS CG: row-wise partial sums, transpose exchange, two dot products",
+    cg_rank, _cg_expected, kwargs_fn=_nas_kwargs,
+    min_ranks=4, pow2_ranks=True,
+))
+register(ClosedLoopScenario(
+    "ft",
+    "NAS FT: global transpose all-to-all + checksum allreduce",
+    ft_rank, _iteration_sum_expected, kwargs_fn=_ft_kwargs,
+    min_ranks=2,
+))

@@ -1,0 +1,165 @@
+"""Closed-loop SPMD scenarios: ring, allreduce, hpccg.
+
+The original campaign workloads (PR 6–8), migrated out of
+``harness/campaign.py`` into the scenario registry.  All three factories
+accept ``(mpi, steps=..., state=...)`` so respawned replicas can fork
+from a recovery point, and all have closed-form expected values so every
+run classifies against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.scenarios.base import ClosedLoopScenario, register
+
+__all__ = [
+    "RingState",
+    "campaign_app",
+    "expected_results",
+    "allreduce_app",
+    "allreduce_expected",
+    "hpccg_app",
+    "hpccg_expected",
+]
+
+
+class RingState:
+    """Snapshot/restore-able workload state (recovery support, §3.4)."""
+
+    def __init__(self) -> None:
+        self.step = 0
+        self.acc = 0.0
+
+
+def campaign_app(mpi, steps: int = 12, state: Optional[RingState] = None):
+    """Ring exchange under churn: rank r sends ``r·1000 + step`` right and
+    accumulates what arrives from the left, with a recovery point per
+    step so pending respawns can fork.  Expected per-rank result:
+    :func:`expected_results`."""
+    st = state or RingState()
+    mpi.register_state(st)
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    while st.step < steps:
+        k = st.step
+        out = np.array([float(mpi.rank * 1000 + k)])
+        if mpi.rank % 2 == 0:
+            yield from mpi.send(out, dest=right, tag=1)
+            got, _ = yield from mpi.recv(source=left, tag=1)
+        else:
+            got, _ = yield from mpi.recv(source=left, tag=1)
+            yield from mpi.send(out, dest=right, tag=1)
+        st.acc += float(got[0])
+        st.step += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def expected_results(cfg) -> Dict[int, float]:
+    """Correct per-logical-rank return value of :func:`campaign_app`."""
+    tri = cfg.steps * (cfg.steps - 1) / 2.0
+    return {
+        rank: ((rank - 1) % cfg.n_ranks) * 1000.0 * cfg.steps + tri
+        for rank in range(cfg.n_ranks)
+    }
+
+
+def allreduce_app(mpi, steps: int = 12, state: Optional[RingState] = None):
+    """Collective workload under churn: every rank contributes ``rank + step``
+    to a sum-allreduce per step and accumulates the global total, with a
+    recovery point per step.  Exercises the protocols' collective paths —
+    the ring workload never leaves pt2pt — so a sweep can ask whether a
+    fault mix that pt2pt absorbs also spares the collective towers."""
+    st = state or RingState()
+    mpi.register_state(st)
+    while st.step < steps:
+        k = st.step
+        total = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
+        st.acc += float(total)
+        st.step += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def allreduce_expected(cfg) -> Dict[int, float]:
+    """Correct per-logical-rank return value of :func:`allreduce_app`."""
+    tri_n = cfg.n_ranks * (cfg.n_ranks - 1) / 2.0
+    tri_s = cfg.steps * (cfg.steps - 1) / 2.0
+    value = cfg.steps * tri_n + cfg.n_ranks * tri_s
+    return {rank: value for rank in range(cfg.n_ranks)}
+
+
+def hpccg_app(mpi, steps: int = 12, state: Optional[RingState] = None):
+    """HPCCG-shaped workload under churn (the paper's Table 2 app).
+
+    Each step is one CG-iteration skeleton, shrunk to campaign scale:
+    a 1-D halo exchange with **ANY_SOURCE** direction-tagged nonblocking
+    receives (the matching pattern that distinguishes HPCCG from the ring
+    workload — under leader-based replication this is exactly the traffic
+    §3.1 says inflates the unexpected queue), followed by the iteration's
+    two allreduces (the dot product's sum and the residual check's max),
+    with a recovery point per step.  Every exchanged value is a small
+    integer-valued float, so the accumulated result is exact in binary
+    floating point and :func:`hpccg_expected` is closed-form.
+    """
+    st = state or RingState()
+    mpi.register_state(st)
+    up = (mpi.rank + 1) % mpi.size
+    down = (mpi.rank - 1) % mpi.size
+    while st.step < steps:
+        k = st.step
+        # Halo faces: tag encodes direction, source stays wild.  Only the
+        # down neighbour ever sends tag 500 (and only the up neighbour
+        # tag 501), so values are deterministic despite ANY_SOURCE.
+        r_lo = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=500)
+        r_hi = yield from mpi.irecv(source=mpi.ANY_SOURCE, tag=501)
+        face = np.array([float(mpi.rank * 100 + k)])
+        s_up = yield from mpi.isend(face, dest=up, tag=500)
+        s_down = yield from mpi.isend(face, dest=down, tag=501)
+        yield from mpi.waitall([r_lo, r_hi, s_up, s_down])
+        halo = float(r_lo.data[0]) + float(r_hi.data[0])
+        rtrans = yield from mpi.allreduce(float(mpi.rank + k), op="sum")
+        rmax = yield from mpi.allreduce(float(mpi.rank), op="max")
+        st.acc += halo + float(rtrans) + float(rmax)
+        st.step += 1
+        yield from mpi.recovery_point()
+        yield from mpi.compute(1e-6)
+    return st.acc
+
+
+def hpccg_expected(cfg) -> Dict[int, float]:
+    """Correct per-logical-rank return value of :func:`hpccg_app`."""
+    n, s = cfg.n_ranks, cfg.steps
+    tri_s = s * (s - 1) / 2.0
+    tri_n = n * (n - 1) / 2.0
+    # per step: sum-allreduce of (rank + k) plus max-allreduce of rank
+    coll = s * tri_n + n * tri_s + s * (n - 1)
+    return {
+        rank: s * 100.0 * (((rank - 1) % n) + ((rank + 1) % n)) + 2.0 * tri_s + coll
+        for rank in range(n)
+    }
+
+
+register(ClosedLoopScenario(
+    "ring",
+    "pt2pt ring exchange with per-step recovery points",
+    campaign_app, expected_results,
+    supports_respawn=True,
+))
+register(ClosedLoopScenario(
+    "allreduce",
+    "per-step sum-allreduce through the collective towers",
+    allreduce_app, allreduce_expected,
+    supports_respawn=True,
+))
+register(ClosedLoopScenario(
+    "hpccg",
+    "CG-iteration skeleton: ANY_SOURCE halo + two allreduces per step",
+    hpccg_app, hpccg_expected,
+    supports_respawn=True,
+))

@@ -18,12 +18,11 @@ from repro.harness.campaign import (
     OUTCOMES,
     CampaignConfig,
     RunRecord,
-    campaign_app,
-    expected_results,
     run_campaign,
     run_case,
     sample_faults,
 )
+from repro.scenarios import campaign_app, expected_results
 
 import pytest
 

@@ -17,9 +17,6 @@ path), equality against GOLDEN catches semantic drift of the engine.
 
 from __future__ import annotations
 
-import os
-import sys
-
 import numpy as np
 import pytest
 
@@ -27,12 +24,11 @@ from repro.core.config import ReplicationConfig
 from repro.harness.runner import Job, cluster_for
 from repro.mpi.datatypes import Phantom
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
-
 # The fingerprinted workloads are the *same* functions the perf harness
-# measures — imported, not copied, so the goldens always pin the workload
-# shape that BENCH_engine.json's trajectory is measured on.
-from bench import anysource_fanin, ring_collectives  # noqa: E402
+# measures and the ablation drivers run — imported from the scenario
+# registry, not copied, so the goldens always pin the workload shape that
+# BENCH_engine.json's trajectory is measured on.
+from repro.scenarios import anysource_fanin, ring_collectives
 
 
 def collective_suite(mpi, iters=4, nbytes=65536):

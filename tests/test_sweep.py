@@ -18,6 +18,7 @@ from repro.harness.campaign import OUTCOMES, CampaignConfig, run_case
 from repro.harness.report import render_table, sweep_outcome_rows
 from repro.harness.store import StoreError, SweepStore, atomic_write_text
 from repro.harness.sweep import (
+    DETECTOR_PROFILES,
     MIX_PROFILES,
     ShapeCache,
     SweepError,
@@ -283,6 +284,113 @@ class TestReporting:
         assert "sdr/r2/n4/ring/full" in text
         assert "stranded frames/envs by mechanism" in text
         assert "hits" in text and "0 worker crashes" in text
+
+
+class TestDetectorAndIntensityAxes:
+    def test_unknown_or_invalid_values_rejected(self):
+        with pytest.raises(SweepError, match="axis 'detectors': unknown 'psychic'"):
+            SweepSpec(detectors=("psychic",)).validate()
+        with pytest.raises(SweepError, match="must be > 0"):
+            SweepSpec(intensities=(0.0,)).validate()
+        with pytest.raises(SweepError, match="is not a number"):
+            SweepSpec(intensities=(True,)).validate()
+        with pytest.raises(SweepError, match="duplicate"):
+            SweepSpec(intensities=(2.0, 2.0)).validate()
+
+    def test_default_axes_change_nothing(self):
+        # the axes exist, but at their defaults the label and the campaign
+        # config are byte-identical to the pre-axis sweep — stored
+        # fingerprints stay comparable
+        point = SweepSpec(protocols=("sdr",), seeds=(0,)).points()[0]
+        assert point.label() == "sdr/r2/n4/ring/full/s0"
+        assert point.campaign_config() == CampaignConfig()
+        assert DETECTOR_PROFILES["default"] == CampaignConfig().detector
+
+    def test_intensity_scales_only_network_probabilities(self):
+        spec = SweepSpec(
+            protocols=("sdr",), mixes=("network",), intensities=(2.0,), seeds=(0,),
+        )
+        cfg = spec.points()[0].campaign_config()
+        assert cfg.p_drop_window == pytest.approx(0.5)   # 0.25 * 2
+        assert cfg.p_dup_window == 1.0                   # 0.5 * 2, capped
+        assert cfg.p_partition == pytest.approx(0.3)
+        # crash-side odds stay the mix's own — intensity is a wire knob
+        assert cfg.p_crash == 0.0 and cfg.p_churn == 0.0
+
+    def test_detector_profile_reaches_campaign_config(self):
+        spec = SweepSpec(protocols=("sdr",), detectors=("eager",), seeds=(0,))
+        cfg = spec.points()[0].campaign_config()
+        assert cfg.detector == DETECTOR_PROFILES["eager"]
+        assert cfg.detector.suspicion_threshold == 1
+
+    def test_labels_grow_segments_only_off_default(self):
+        spec = SweepSpec(
+            protocols=("mirror",), detectors=("eager",), intensities=(2.0,), seeds=(0,),
+        )
+        assert spec.points()[0].label() == "mirror/r2/n4/ring/full/eager/x2/s0"
+
+    def test_axes_multiply_the_matrix_and_ride_into_records(self):
+        spec = SweepSpec(
+            protocols=("sdr",), mixes=("clean",),
+            detectors=("default", "eager"), intensities=(1.0, 2.0), seeds=(0,),
+        )
+        assert spec.n_configs == 4
+        result = run_sweep(spec, workers=1)
+        assert {(r["detector"], r["intensity"]) for r in result.records} == {
+            ("default", 1.0), ("default", 2.0), ("eager", 1.0), ("eager", 2.0),
+        }
+
+
+class TestExplicitMatrix:
+    def test_indices_are_list_positions_and_envelopes_are_per_config(self):
+        # mg@8 beside ring@4 is legal in an explicit list — an axis-union
+        # check would wrongly test mg@4
+        spec = SweepSpec.explicit([
+            {"protocol": "native", "n_ranks": 4, "seed": 3, "mix": "clean"},
+            {"protocol": "sdr", "n_ranks": 8, "seed": 1, "workload": "mg"},
+            {"protocol": "mirror", "n_ranks": 4, "seed": 0,
+             "detector": "eager", "intensity": 2.0},
+        ])
+        pts = spec.points()
+        assert [p.index for p in pts] == [0, 1, 2]
+        assert pts[1].workload == "mg" and pts[1].n_ranks == 8
+        assert pts[2].label() == "mirror/r2/n4/ring/full/eager/x2/s0"
+        assert spec.n_configs == 3
+        assert len(spec.as_dict()["explicit"]) == 3
+
+    @pytest.mark.parametrize(
+        "entries, message",
+        [
+            ([], "empty"),
+            ([{"protocol": "sdr"}], "missing required keys"),
+            ([{"protocol": "sdr", "n_ranks": 4, "seed": 0, "flavor": "hot"}],
+             "unknown keys"),
+            ([{"protocol": "tmr", "n_ranks": 4, "seed": 0}], "unknown protocol"),
+            ([{"protocol": "sdr", "n_ranks": 4, "seed": 0, "workload": "mg"}],
+             "needs >= 8 ranks"),
+            ([{"protocol": "sdr", "n_ranks": 4, "seed": 0, "detector": "psychic"}],
+             "unknown detector"),
+            ([{"protocol": "sdr", "n_ranks": 4, "seed": 0, "intensity": 0.0}],
+             "must be > 0"),
+            ([{"protocol": "sdr", "n_ranks": 4, "seed": -1}], "must be an int >= 0"),
+        ],
+    )
+    def test_invalid_entries_rejected_at_build_time(self, entries, message):
+        with pytest.raises(SweepError, match=message):
+            SweepSpec.explicit(entries)
+
+    def test_explicit_pool_matches_serial_byte_for_byte(self):
+        spec = SweepSpec.explicit([
+            {"protocol": "native", "n_ranks": 4, "seed": 0, "mix": "clean"},
+            {"protocol": "sdr", "n_ranks": 4, "seed": 1},
+            {"protocol": "sdr", "n_ranks": 4, "seed": 0,
+             "workload": "traffic-poisson", "mix": "clean"},
+        ])
+        serial = run_sweep(spec, workers=1)
+        pooled = run_sweep(spec, workers=2)
+        assert serial.fingerprints == pooled.fingerprints
+        assert all(serial.fingerprints)
+        assert [r["index"] for r in serial.records] == [0, 1, 2]
 
 
 class TestRunCaseWorkloads:

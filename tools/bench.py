@@ -92,11 +92,9 @@ from typing import Any, Callable, Dict
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
-import numpy as np  # noqa: E402
-
 from repro.core.config import ReplicationConfig  # noqa: E402
 from repro.harness.runner import Job, cluster_for  # noqa: E402
-from repro.mpi.datatypes import Phantom  # noqa: E402
+from repro.scenarios import anysource_fanin, ring_collectives  # noqa: E402
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: snapshot location; BENCH_ENGINE_PATH overrides it so CI can gate a PR
@@ -110,39 +108,8 @@ TOLERANCE = 0.20
 MEM_TOLERANCE = 0.15
 
 
-# --------------------------------------------------------------- workloads
-def anysource_fanin(mpi, rounds=100):
-    """The leader-ablation workload: ANY_SOURCE fan-in/fan-out (§3.1)."""
-    if mpi.rank == 0:
-        total = 0.0
-        for _ in range(rounds):
-            for _ in range(mpi.size - 1):
-                d, _st = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=2)
-                total += float(d[0])
-            for dst in range(1, mpi.size):
-                yield from mpi.send(np.array([total]), dest=dst, tag=3)
-        return total
-    acc = 0.0
-    for _ in range(rounds):
-        yield from mpi.send(np.array([float(mpi.rank)]), dest=0, tag=2)
-        d, _ = yield from mpi.recv(source=0, tag=3)
-        acc = float(d[0])
-    return acc
-
-
-def ring_collectives(mpi, iters=40, nbytes=65536):
-    """Modeled-payload ring sendrecv + allreduce (collective/rendezvous path)."""
-    acc = 0.0
-    right = (mpi.rank + 1) % mpi.size
-    left = (mpi.rank - 1) % mpi.size
-    for _ in range(iters):
-        yield from mpi.sendrecv(Phantom(nbytes), dest=right, source=left, sendtag=1)
-        s = yield from mpi.allreduce(float(mpi.rank), op="sum")
-        acc += float(s)
-        yield from mpi.compute(1e-6)
-    return acc
-
-
+# Workloads come from the scenario registry (repro.scenarios) — the same
+# anysource_fanin / ring_collectives every ablation driver and sweep runs.
 def _run_job(protocol: str, app: Callable, n_ranks: int, **kwargs):
     if protocol == "native":
         cfg = ReplicationConfig(degree=1, protocol="native")

@@ -139,8 +139,11 @@ if (( RUN_SWEEP )); then
     # Generate -> execute (pooled) -> store -> verify a sample serially.
     # Nonzero on any invariant violation, worker crash, or fingerprint
     # mismatch between the pooled run and serial re-execution.
+    # The workload axis includes an open-loop traffic config so the
+    # request-accounting audit and the traffic report table gate per-PR.
     python -m repro sweep \
-        --protocols native sdr --ranks 4 --mixes clean full --seeds 2 \
+        --protocols native sdr --ranks 4 --workloads ring traffic-poisson \
+        --mixes clean full --seeds 2 \
         --workers 2 --verify 2 --store .ci-sweep/smoke --overwrite \
         | tee .ci-sweep/smoke-table.txt
     # Query path: re-render the tables purely from the finalized store.

@@ -124,6 +124,13 @@ class MembershipService:
         #: (target, failed_proc) pairs where every delivery attempt was
         #: lost — the target never learns of the crash
         self.notify_failures: List[Tuple[int, int]] = []
+        #: sharded-parallel filter (:mod:`repro.sim.shard`): when set, the
+        #: oracle's notification fan-out schedules callbacks only for
+        #: targets in this set.  A crash is replayed in *every* shard (the
+        #: bookkeeping above must agree globally), but each svc delivery
+        #: must fire exactly once — in the shard that owns the target.
+        #: ``None`` (serial) notifies every live process.
+        self.local_procs: Optional[Set[int]] = None
         fabric.on_crash.append(self._on_crash)
 
     def is_alive(self, proc: int) -> bool:
@@ -166,8 +173,9 @@ class MembershipService:
         if detector is None:
             when = now + self.detection_delay
             fabric = self.fabric
+            local = self.local_procs
             for p, ep in enumerate(fabric.endpoints):
-                if p != proc and ep.alive:
+                if p != proc and ep.alive and (local is None or p in local):
                     self.sim.call_at(
                         when,
                         lambda ep=ep, proc=proc: ep.deliver(

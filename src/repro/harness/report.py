@@ -16,6 +16,7 @@ __all__ = [
     "strand_site_rows",
     "sweep_group_label",
     "sweep_outcome_rows",
+    "parallel_rows",
     "traffic_rows",
     "working_set_rows",
     "PAPER_TABLE1",
@@ -140,6 +141,55 @@ def working_set_rows(
                 env_hw,
                 frame_hw,
             ]
+        )
+    return header, rows
+
+
+def parallel_rows(
+    labelled: Sequence[Tuple[str, object]],
+) -> Tuple[List[str], List[List[object]]]:
+    """Header + rows for the sharded-execution columns.
+
+    Takes ``(run label, JobResult-or-record)`` pairs (duck-typed: objects
+    expose a ``parallel`` attribute, mappings a ``"parallel"`` key) and
+    reports, per run that carries parallel metadata: the requested worker
+    count, the shard count actually used, the number of conservative sync
+    windows, and — when the pair's label matches a serial run in the same
+    set whose label is the parallel label minus an ``@w<N>`` suffix and
+    both carry a wall-time (``wall_s``, or bench-row ``host_seconds``) —
+    the speedup versus that serial run.  Runs that fell back to serial execution show
+    the first fallback reason instead of a window count.  Returns an empty
+    row list when no run carries parallel metadata, so callers can omit
+    the table entirely for purely serial reports (the default Job path
+    stays column-free).  Feed to :func:`render_table`.
+    """
+
+    def _get(obj: object, key: str) -> object:
+        if isinstance(obj, Mapping):
+            return obj.get(key)
+        return getattr(obj, key, None)
+
+    walls: Dict[str, float] = {}
+    for label, res in labelled:
+        wall = _get(res, "wall_s")
+        if wall is None:
+            wall = _get(res, "host_seconds")
+        if isinstance(wall, (int, float)):
+            walls[label] = float(wall)
+    header = ["run", "workers", "shards", "windows", "speedup"]
+    rows: List[List[object]] = []
+    for label, res in labelled:
+        par = _get(res, "parallel")
+        if not isinstance(par, Mapping):
+            continue
+        fallback = par.get("fallback") or []
+        windows: object = str(fallback[0]) if fallback else par.get("windows", 0)
+        speedup: object = "-"
+        base, sep, _tail = label.rpartition("@w")
+        if sep and base in walls and label in walls and walls[label] > 0.0:
+            speedup = f"{walls[base] / walls[label]:.2f}x"
+        rows.append(
+            [label, par.get("workers", "-"), par.get("shards", "-"), windows, speedup]
         )
     return header, rows
 

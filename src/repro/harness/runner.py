@@ -149,6 +149,11 @@ class JobResult:
     #: ``reorder_reap``, ``retired_stack``, ...), so failover experiments
     #: can report per-mechanism losses instead of one opaque total
     stranded_by_site: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: sharded-parallel metadata (:mod:`repro.sim.shard`): workers/shards
+    #: used, lookahead, window count and any serial-fallback reasons.
+    #: ``None`` — always, for the default serial path — so pre-existing
+    #: fingerprints and reports stay byte-identical.
+    parallel: Optional[dict] = None
 
     def stat_total(self, key: str) -> int:
         return sum(s.get(key, 0) for s in self.stats.values())
@@ -175,8 +180,14 @@ class Job:
         fault_plan: Optional[FaultPlan] = None,
         shape: Optional[JobShape] = None,
         traffic: Optional[Any] = None,
+        parallel: Optional[Any] = None,
     ) -> None:
         self.cfg = cfg or ReplicationConfig(degree=1, protocol="native")
+        #: opt-in multi-core execution (a ``repro.sim.shard.ParallelConfig``).
+        #: ``None`` — the default — is the serial engine, byte-identical to
+        #: every previous release; a config routes :meth:`run` through the
+        #: conservative-window shard pool (or its audited serial fallback).
+        self.parallel = parallel
         #: open-loop request ledger (a ``repro.sim.traffic.TrafficBook``)
         #: whose totals surface in :class:`JobResult`; ``None`` — the
         #: default — leaves the result's request columns at zero
@@ -276,6 +287,17 @@ class Job:
         self._app_kwargs: dict = {}
         self._app_all_done = False
         self._drain_waiters: List[Any] = []
+        #: sharded-parallel drain coordination (:mod:`repro.sim.shard`).
+        #: In a shard worker `_maybe_all_done` must not flip on *local*
+        #: completion — the parent establishes global completion across
+        #: shards and commands `_shard_release_drain`.  `_drain_wakes`
+        #: records frame-wake times inside the finalize drain loop (the
+        #: parent's taint check) and `_drain_frame_waits` the currently
+        #: armed frame-wait per parked proc (so the release can retire
+        #: the one park the serial engine never creates).
+        self._shard_mode = False
+        self._drain_wakes: List[float] = []
+        self._drain_frame_waits: Dict[int, Any] = {}
         #: (pml, protocol) stacks replaced by a respawn: their arena
         #: counters and parked envelopes still take part in the end-of-run
         #: balance, so they are retired here instead of vanishing when
@@ -283,6 +305,9 @@ class Job:
         self._retired_stacks: List[Any] = []
         #: teardown-reap strand attribution (see JobResult.stranded_by_site)
         self._reap_sites: Dict[str, int] = {"reorder_reap": 0, "retired_stack": 0}
+        #: crash callbacks fired (sharded mode replays every crash in every
+        #: shard; the merge subtracts the duplicate event dispatches)
+        self._crash_fired = 0
         # Partial replication: replicas of unreplicated ranks simply do not
         # exist.  Mark their slots dead *before* protocols initialize, then
         # replay Algorithm 1's failure handling synchronously so replica-0
@@ -412,7 +437,16 @@ class Job:
             while not self._app_all_done:
                 done_ev = Event(self.sim, label=f"finalize({proc})")
                 self._drain_waiters.append(done_ev)
-                yield AnyOf(self.sim, [done_ev, pml.endpoint.wait_for_frame()])
+                frame_ev = pml.endpoint.wait_for_frame()
+                if self._shard_mode:
+                    self._drain_frame_waits[proc] = frame_ev
+                yield AnyOf(self.sim, [done_ev, frame_ev])
+                if self._shard_mode:
+                    self._drain_frame_waits.pop(proc, None)
+                    if not done_ev.triggered:
+                        # Frame wake, not the release: the parent compares
+                        # these times against the global completion time.
+                        self._drain_wakes.append(self.sim.now)
                 yield from pml.drain()
             return result
 
@@ -421,11 +455,39 @@ class Job:
     def _maybe_all_done(self) -> None:
         if self._app_all_done:
             return
+        if self._shard_mode:
+            # A shard must not flip on shard-local completion: the drain
+            # loop keeps progressing protocol traffic until the parent
+            # establishes *global* completion and commands the release.
+            return
         for proc, process in self.processes.items():
             if process.crashed:
                 continue
             if proc not in self.finish_times:
                 return
+        self._app_all_done = True
+        for ev in self._drain_waiters:
+            if not ev.triggered:
+                ev.succeed(None)
+        self._drain_waiters.clear()
+
+    def _shard_release_drain(self, last_proc: Optional[int] = None) -> None:
+        """Sharded mode: perform the `_maybe_all_done` flip on parent command.
+
+        Called between lookahead windows once every shard has reported
+        local completion (:mod:`repro.sim.shard`).  *last_proc* is the
+        globally last finisher when the completion trigger was an
+        application finish: serially that process flips the flag inside
+        its own finish dispatch and never parks in the drain loop, so its
+        pending frame-wait is abandoned here (no stale endpoint waiter)
+        and the merge subtracts the two dispatches its extra done-event
+        wake costs.  All other parked processes wake exactly as the
+        serial flip would wake them.
+        """
+        if last_proc is not None:
+            ev = self._drain_frame_waits.get(last_proc)
+            if ev is not None:
+                ev.abandon()
         self._app_all_done = True
         for ev in self._drain_waiters:
             if not ev.triggered:
@@ -441,11 +503,20 @@ class Job:
         """
         self._app_factory = app_factory
         self._app_kwargs = dict(kwargs)
+        if self.parallel is not None:
+            # Sharded mode: process start is deferred to the shard workers
+            # (each fork starts exactly its own procs, in proc order, so
+            # every shard's t=0 bucket is the serial order's projection).
+            # The serial fallback calls _launch_now() instead.
+            return self
+        self._launch_now()
+        return self
+
+    def _launch_now(self) -> None:
         for proc in range(self.rmap.n_procs):
             if proc in self.absent:
                 continue
-            self._start_process(proc, app_factory(self.mpis[proc], **kwargs))
-        return self
+            self._start_process(proc, self._app_factory(self.mpis[proc], **self._app_kwargs))
 
     def spawn_replica(self, proc: int, app_state: Any, proto_state: dict) -> None:
         """Respawn a replica at slot *proc* (recovery fork, §3.4)."""
@@ -462,6 +533,7 @@ class Job:
         proc = self.rmap.phys(rank, rep)
 
         def do_crash() -> None:
+            self._crash_fired += 1
             self.membership.crash(proc)  # wire-level + detector fan-out
             process = self.processes.get(proc)
             if process is not None:
@@ -484,7 +556,36 @@ class Job:
         ``audit=True`` with a horizon — a wedged (deadlocked/partitioned)
         run is audited too, after stranding whatever was still in flight
         at the horizon (see :meth:`audit`).
+
+        With ``parallel=ParallelConfig(...)`` the run executes across the
+        conservative-window shard pool (:mod:`repro.sim.shard`), merged to
+        the same :class:`JobResult` the serial engine produces —
+        byte-identical fingerprints are the contract, hypothesis-proven.
         """
+        if self.parallel is not None:
+            from repro.sim.shard import run_parallel
+
+            return run_parallel(self, until=until, allow_lost_ranks=allow_lost_ranks, audit=audit)
+        return self._run_serial(until=until, allow_lost_ranks=allow_lost_ranks, audit=audit)
+
+    def _run_serial_fallback(
+        self,
+        until: Optional[float] = None,
+        allow_lost_ranks: bool = False,
+        audit: Optional[bool] = None,
+    ) -> JobResult:
+        """Hazard fallback for sharded mode: start the deferred processes
+        and run on the serial engine (:func:`repro.sim.shard.run_parallel`
+        annotates the result with the fallback reasons)."""
+        self._launch_now()
+        return self._run_serial(until=until, allow_lost_ranks=allow_lost_ranks, audit=audit)
+
+    def _run_serial(
+        self,
+        until: Optional[float] = None,
+        allow_lost_ranks: bool = False,
+        audit: Optional[bool] = None,
+    ) -> JobResult:
         if audit is None:
             audit = until is None
         self.sim.run(until=until)
@@ -644,24 +745,35 @@ class Job:
             pml.reap_retain_ledger()
         self._check_guard_violations()
         fab = self.fabric
-        frames_closed = fab.frames_released + fab.frames_stranded
+        # Sharded runs extend both sides with the cross-shard relay: an
+        # exported frame left this arena's custody (its shell recycled
+        # locally, the wire record re-acquired by the destination shard's
+        # import_frame — which counts as a regular acquire here, so only
+        # the export side needs a term).  Imported *envelopes* however are
+        # minted without an acquire_env, exactly like link duplication, so
+        # they join the acquired side.  Serial runs have all four relay
+        # counters at zero and the historical formulas back.
+        frames_closed = fab.frames_released + fab.frames_stranded + fab.frames_exported
         if fab.frames_acquired != frames_closed:
             raise AssertionError(
                 f"frame arena leak: {fab.frames_acquired} acquired vs "
                 f"{fab.frames_released} released + "
-                f"{fab.frames_stranded} stranded "
+                f"{fab.frames_stranded} stranded + "
+                f"{fab.frames_exported} exported "
                 f"({fab.frames_acquired - frames_closed} unaccounted)"
             )
         pmls = [pml for pml, _proto in stacks]
         # Link duplication mints envelopes without an acquire_env — they
         # enter on the acquired side so each clone still needs a release
         # or an accounted strand of its own.
-        env_acquired = sum(p.env_acquired for p in pmls) + fab.envs_duplicated
+        env_acquired = sum(p.env_acquired for p in pmls) + fab.envs_duplicated + fab.envs_imported
         env_released = sum(p.env_released for p in pmls)
         env_stranded = sum(p.env_stranded for p in pmls) + fab.envs_stranded
-        if env_acquired != env_released + env_stranded:
+        env_closed = env_released + env_stranded + fab.envs_exported
+        if env_acquired != env_closed:
             raise AssertionError(
                 f"envelope arena leak: {env_acquired} acquired vs "
-                f"{env_released} released + {env_stranded} stranded "
-                f"({env_acquired - env_released - env_stranded} unaccounted)"
+                f"{env_released} released + {env_stranded} stranded + "
+                f"{fab.envs_exported} exported "
+                f"({env_acquired - env_closed} unaccounted)"
             )

@@ -70,7 +70,7 @@ import numpy as np
 from repro.mpi.datatypes import PayloadInterner, copy_payload, nbytes_of
 from repro.mpi.errors import MpiError, TruncationError
 from repro.mpi.matching import LinearMatchEngine, MatchEngine
-from repro.mpi.status import Status
+from repro.mpi.status import ANY_SOURCE, Status
 from repro.network.fabric import Fabric, Frame
 from repro.sim.kernel import Simulator
 
@@ -358,6 +358,7 @@ class Pml:
         "guard_violations",
         "sends_posted",
         "recvs_posted",
+        "any_source_posts",
         "_interner",
         "env_hw_window",
         "env_high_water",
@@ -447,6 +448,11 @@ class Pml:
         # counters
         self.sends_posted = 0
         self.recvs_posted = 0
+        #: wildcard receives posted — the sharded engine treats any
+        #: ANY_SOURCE post as a taint (match order under wildcards
+        #: depends on same-timestamp dispatch interleaving that
+        #: shard-local seq assignment cannot reproduce)
+        self.any_source_posts = 0
         #: job-wide payload intern table (shared by every PML of a Job;
         #: ``None`` disables — Job(interning=False) equivalence spec)
         self._interner = interner
@@ -851,6 +857,8 @@ class Pml:
         """Post a receive; may match an unexpected message immediately."""
         req = PmlRecvRequest(ctx, source, tag, buf)
         self.recvs_posted += 1
+        if source == ANY_SOURCE:
+            self.any_source_posts += 1
         env = self.matching.post(req)
         if env is not None:
             yield from self._matched(req, env, from_unexpected=True)

@@ -393,6 +393,29 @@ class Fabric:
         self.fault_drops = 0
         self.fault_dups = 0
         self.fault_delays = 0
+        #: conservative-window shard router (:mod:`repro.sim.shard`).
+        #: ``None`` — the default — keeps :meth:`inject` byte-identical to
+        #: the serial wire.  When set, every inter-node frame's downlink
+        #: pricing and delivery are *deferred* to the window barrier: the
+        #: uplink is priced locally (the source node's procs all live in
+        #: this shard), and the router collects the frame so the shard
+        #: owning the destination node can price the shared downlink in
+        #: canonical order (see ``shard.py``).
+        self.shard_router: Optional[Any] = None
+        #: cross-shard relay accounting: frames (and the envelopes they
+        #: carry) handed to another shard / received from one.  An import
+        #: routes through :meth:`acquire_frame` (so it already counts as
+        #: acquired), an export leaves this arena's custody, making the
+        #: per-shard frame balance
+        #: ``acquired == released + stranded + exported``; imported
+        #: *envelopes* are minted without an acquire_env and join the
+        #: acquired side like :attr:`envs_duplicated`.  Globally exports
+        #: equal imports, and the merged balance reduces to the serial
+        #: ``acquired == released + stranded``.
+        self.frames_exported = 0
+        self.frames_imported = 0
+        self.envs_exported = 0
+        self.envs_imported = 0
 
     # ----------------------------------------------------------- attachment
     def endpoint(self, proc: int) -> Endpoint:
@@ -547,6 +570,10 @@ class Fabric:
             "fault_dups": self.fault_dups,
             "fault_delays": self.fault_delays,
             "strands_by_site": {k: tuple(v) for k, v in self.strands_by_site.items()},
+            "frames_exported": self.frames_exported,
+            "frames_imported": self.frames_imported,
+            "envs_exported": self.envs_exported,
+            "envs_imported": self.envs_imported,
             "frame_pool_size": len(self._frame_pool),
             "frame_high_water": max(self.frame_high_water, self.frame_hw_window),
             "frames_trimmed": self.frames_trimmed,
@@ -611,6 +638,30 @@ class Fabric:
             if t_up < now:
                 t_up = now
             src_busy[0] = t_up + ser
+            router = self.shard_router
+            if router is not None:
+                # Sharded-parallel mode: the destination node's downlink
+                # cell may be owned by another shard, and even when it is
+                # local its pricing order must be canonical across shards.
+                # Price the uplink above (exclusively ours), count the
+                # frame as sent, and defer downlink pricing + delivery to
+                # the window barrier.  Lookahead guarantees the arrival
+                # lands strictly after the current window, so deferral is
+                # unobservable.  Callers discard the return value on every
+                # PML send path; -1.0 marks "arrival priced at barrier".
+                frame.sent_at = now
+                src_ep.frames_sent += 1
+                src_ep.bytes_sent += size
+                self.total_frames += 1
+                self.total_bytes += size
+                by_kind = self.frames_by_kind
+                kind = frame.kind
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+                frame.fabric = self
+                if extra_delay > 0.0:
+                    self.fault_delays += 1
+                router.defer(frame, now, t_up + model.latency, ser, extra_delay, self.sim._seq)
+                return -1.0
             # Head reaches the destination NIC after the wire latency;
             # the frame then drains through the shared downlink.
             t_down = t_up + model.latency
@@ -700,6 +751,62 @@ class Fabric:
             self.inject(dup_frame)
         finally:
             self._faults = faults
+
+    # ---------------------------------------------------- shard relay hooks
+    def price_deferred(self, src: int, dst: int, t_head: float, ser: float, extra_delay: float) -> float:
+        """Window-barrier downlink pricing for one deferred inter-node frame.
+
+        Mirrors the tail of :meth:`inject` exactly: the frame's head
+        reached the destination NIC at *t_head* (uplink + latency, priced
+        in the source shard), drains through the shared downlink
+        (``dst_busy[1]`` — owned by this shard, the destination node's
+        owner), then the fault delay spike and the per-channel FIFO clamp
+        apply in that order.  Callers must invoke this in canonical
+        cross-shard order (see :mod:`repro.sim.shard`) so the downlink
+        occupancy evolves exactly as the serial engine's inject-order
+        pricing would.
+        """
+        key = (src, dst)
+        state = self._chan.get(key)
+        if state is None:
+            state = self._chan_state(key)
+        dst_busy = state[2]
+        t_down = t_head
+        if t_down < dst_busy[1]:
+            t_down = dst_busy[1]
+        arrival = t_down + ser
+        dst_busy[1] = arrival
+        if extra_delay > 0.0:
+            arrival += extra_delay
+        if arrival < state[4]:
+            arrival = state[4]
+        state[4] = arrival
+        return arrival
+
+    def export_frame(self, frame: Frame) -> None:
+        """Hand *frame* (and its envelope) to another shard's custody.
+
+        The local counters record the departure so the per-shard balance
+        ``acquired == released + stranded + exported`` stays exact; the
+        shell is recycled locally (the wire record, not the object,
+        crosses the process boundary).
+        """
+        self.frames_exported += 1
+        payload = frame.payload
+        if payload is not None and frame.kind != "svc":
+            self.envs_exported += 1
+        frame.payload = None
+        frame.fabric = None
+        pool = self._frame_pool
+        if self.pool_frames and len(pool) < 4096:
+            pool.append(frame)
+
+    def import_frame(self, src: int, dst: int, size: int, payload: Any, kind: str) -> Frame:
+        """Materialize a relayed frame received from another shard."""
+        self.frames_imported += 1
+        if payload is not None and kind != "svc":
+            self.envs_imported += 1
+        return self.acquire_frame(src, dst, size, payload, kind)
 
     # --------------------------------------------------------------- faults
     def _strand_inbox(self, ep: Endpoint) -> None:

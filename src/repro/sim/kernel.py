@@ -320,6 +320,67 @@ class Simulator:
         if until is not None:
             self._now = until
 
+    def run_until_before(self, horizon: float) -> Any:
+        """Dispatch every event with virtual time strictly below *horizon*.
+
+        The conservative-window drain used by sharded-parallel execution
+        (:mod:`repro.sim.shard`): unlike :meth:`run`, which is *inclusive*
+        of events at ``until``, this leaves every event at
+        ``t >= horizon`` pending and the clock strictly below *horizon*
+        (or unchanged if nothing fired).  A shard can therefore run its
+        window ``[W, W + lookahead)``, exchange cross-shard frames whose
+        arrivals all land at ``>= W + lookahead``, and resume — without
+        ever firing an event whose inputs a peer shard could still
+        change.  Kept as its own loop so the :meth:`_run_fast` hot path
+        stays branch-free.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stopped = None
+        queue = self._queue
+        bucket = self._bucket
+        heappop = heapq.heappop
+        popleft = bucket.popleft
+        dispatched = self.events_dispatched
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while True:
+                now = self._now
+                if now >= horizon:
+                    break
+                while queue and queue[0][0] == now:
+                    event = heappop(queue)[2]
+                    if not event.cancelled:
+                        dispatched += 1
+                        event.fire()
+                while bucket:
+                    event = popleft()
+                    if not event.cancelled:
+                        dispatched += 1
+                        event.fire()
+                if not queue:
+                    break
+                when = queue[0][0]
+                if when == now:
+                    continue
+                if when >= horizon:
+                    break
+                advance = self.on_advance
+                if advance is not None:
+                    advance()
+                self._now = when
+        except StopSimulation as stop:
+            self._stopped = stop
+        finally:
+            self.events_dispatched = dispatched
+            if gc_was_enabled:
+                gc.enable()
+            self._running = False
+        return self._stopped.value if self._stopped is not None else None
+
     def step(self) -> bool:
         """Dispatch a single event.  Returns False when the queue is empty."""
         queue = self._queue

@@ -103,6 +103,22 @@ class Event:
             self.sim.schedule(self, delay)
         return self
 
+    def abandon(self) -> None:
+        """Neutralize a pending wait without scheduling it.
+
+        The event becomes *triggered* — producers that skip triggered
+        waiters (:meth:`Mailbox.put`, :meth:`Endpoint.deliver`) pass it
+        over — and *cancelled*, so the dispatch loop drops it if it was
+        ever queued.  No callback will run and no event is dispatched.
+        The sharded runner uses this to retire the one drain-loop park
+        the serial engine never creates (see
+        :meth:`repro.harness.runner.Job._shard_release_drain`).
+        """
+        if self._value is _PENDING:
+            self._value = None
+            self._ok = True
+        self.cancelled = True
+
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         if self._value is not _PENDING:
             raise SimulationError(f"event {self.label!r} already completed")

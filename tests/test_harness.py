@@ -10,6 +10,7 @@ from repro.harness.report import (
     PAPER_TABLE1,
     PAPER_TABLE2,
     overhead_row,
+    parallel_rows,
     render_series,
     render_table,
 )
@@ -140,6 +141,40 @@ class TestReport:
     def test_paper_constants_match_the_paper(self):
         assert PAPER_TABLE1["CG"] == (210.37, 220.71, 4.92)
         assert PAPER_TABLE2["HPCCG"][2] == 0.002
+
+    def test_parallel_rows_empty_without_metadata(self):
+        header, rows = parallel_rows([("sdr-16", {"host_seconds": 1.0})])
+        assert rows == []  # serial-only sets get no table at all
+        assert header[0] == "run"
+
+    def test_parallel_rows_speedup_and_fallback(self):
+        labelled = [
+            ("sdr-16", {"host_seconds": 2.0}),
+            (
+                "sdr-16@w4",
+                {
+                    "host_seconds": 1.0,
+                    "parallel": {"workers": 4, "shards": 2, "windows": 19,
+                                 "fallback": []},
+                },
+            ),
+            (
+                "mirror-16@w4",
+                {
+                    "host_seconds": 1.0,
+                    "parallel": {"workers": 4, "shards": 1, "windows": 23,
+                                 "fallback": ["drain_race: tied contention"]},
+                },
+            ),
+        ]
+        header, rows = parallel_rows(labelled)
+        assert header == ["run", "workers", "shards", "windows", "speedup"]
+        assert rows[0] == ["sdr-16@w4", 4, 2, 19, "2.00x"]
+        # Fallback runs surface the reason where the window count would go,
+        # and get no speedup cell without a matching serial wall-time.
+        assert rows[1][3] == "drain_race: tied contention"
+        assert rows[1][4] == "-"
+        render_table("sharded execution", header, rows)  # renders cleanly
 
 
 class TestExperiments:
